@@ -1,0 +1,86 @@
+"""E6 -- structural content of Figures 1 and 4.
+
+Figure 1 shows the VCGRA grid fragment (PEs, VSBs and their settings
+registers); Figure 4 shows the fully parameterized PE (BLEs of TLUTs,
+intra-connect of TCONs, settings register).  Neither carries measured data,
+so this experiment regenerates their quantitative content: the structural
+statistics of the grid and of a mapped PE as a function of the architecture
+parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import BENCH_FP_FORMAT, write_report
+from repro.core.grid import VCGRAArchitecture
+from repro.core.pe import ProcessingElementSpec, build_pe_design, pe_port_summary
+from repro.synth.optimize import optimize
+from repro.techmap import map_parameterized
+
+
+def test_grid_structure_series(benchmark):
+    """Figure 1 content: grid component counts as a function of grid size."""
+
+    def sweep():
+        rows = {}
+        for n in (2, 3, 4, 6, 8):
+            arch = VCGRAArchitecture(rows=n, cols=n)
+            rows[n] = {
+                "pes": arch.num_pes,
+                "vsbs": arch.num_vsbs,
+                "vcbs": arch.num_virtual_connection_blocks,
+                "settings_registers": arch.num_settings_registers,
+            }
+        return rows
+
+    series = benchmark(sweep)
+
+    lines = [
+        "E6 / Figure 1 -- VCGRA grid structure vs grid size",
+        "",
+        f"{'grid':>6}{'PEs':>6}{'VSBs':>6}{'VCBs':>6}{'settings regs':>15}",
+    ]
+    for n, row in series.items():
+        lines.append(
+            f"{n}x{n:<4}{row['pes']:>6}{row['vsbs']:>6}{row['vcbs']:>6}"
+            f"{row['settings_registers']:>15}"
+        )
+    write_report("fig1_grid_structure", lines)
+
+    assert series[4] == {"pes": 16, "vsbs": 9, "vcbs": 32, "settings_registers": 25}
+
+
+def test_pe_structure(benchmark):
+    """Figure 4 content: the fully parameterized PE's internal composition."""
+    spec = ProcessingElementSpec(fmt=BENCH_FP_FORMAT)
+
+    def build_and_map():
+        circuit = build_pe_design(spec).circuit
+        optimized, _ = optimize(circuit)
+        return map_parameterized(optimized)
+
+    network = benchmark(build_and_map)
+    ports = pe_port_summary(spec)
+    stats = network.stats()
+
+    lines = [
+        "E6 / Figure 4 -- Fully parameterized PE structure",
+        "",
+        f"floating-point format: we={spec.fmt.we}, wf={spec.fmt.wf} "
+        f"({spec.fmt.width}-bit words)",
+        f"settings register: {spec.settings_bits} bits "
+        f"({spec.num_settings_registers} x 32-bit registers)",
+        f"ports: {', '.join(f'{k}[{v}]' for k, v in ports.items())}",
+        "",
+        "mapped composition (BLEs and intra-connect of Figure 4):",
+        f"  static LUTs (Template Configuration): {stats.num_static_luts}",
+        f"  TLUTs (tunable BLEs):                 {stats.num_tluts}",
+        f"  TCONs (tunable intra-connections):    {stats.num_tcons}",
+        f"  LUT levels on the critical path:      {stats.depth}",
+    ]
+    write_report("fig4_pe_structure", lines)
+
+    assert stats.num_tcons > 0
+    assert stats.num_tluts > 0
+    assert spec.settings_bits <= spec.num_settings_registers * 32

@@ -1,0 +1,98 @@
+"""E3 -- reconfiguration time estimate (Section V).
+
+The paper estimates 251 ms to micro-reconfigure one PE (526 TLUTs + 568 TCONs
+through HWICAP) and argues the cost is acceptable because the denoise and
+texture filter coefficients change only once per batch (e.g. per 1000 images).
+This benchmark reproduces the estimate from the cost model, measures the
+actual SCG specialization (PPC Boolean-function evaluation) on a mapped PE,
+and reports the amortization the paper quotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import BENCH_FP_FORMAT, write_report
+from repro.core.flows import run_pe_flow
+from repro.core.pe import PEOp, ProcessingElementSpec, build_pe_design
+from repro.core.reconfiguration import HWICAP, MICAP, ReconfigurationCostModel
+from repro.core.specialization import SpecializedConfigurationGenerator
+
+PAPER_TLUTS = 526
+PAPER_TCONS = 568
+PAPER_ESTIMATE_MS = 251.0
+
+
+@pytest.fixture(scope="module")
+def scg():
+    """A mapped + placed-and-routed PE wrapped by the SCG (reduced format)."""
+    spec = ProcessingElementSpec(fmt=BENCH_FP_FORMAT, num_inputs=2, counter_width=8)
+    result = run_pe_flow(
+        build_pe_design(spec).circuit,
+        parameterized=True,
+        do_par=True,
+        channel_width=12,
+        placement_effort=0.3,
+        router_iterations=15,
+        seed=0,
+    )
+    return spec, SpecializedConfigurationGenerator(result.network, result.par)
+
+
+def test_paper_reconfiguration_estimate(benchmark):
+    """Reproduce the 251 ms per-PE estimate from the cost model."""
+    model = ReconfigurationCostModel(HWICAP)
+    estimate = benchmark(model.estimate_time_ms, PAPER_TLUTS, PAPER_TCONS)
+    micap = ReconfigurationCostModel(MICAP).estimate_time_ms(PAPER_TLUTS, PAPER_TCONS)
+    amortized = model.amortized_overhead(estimate, items_per_configuration=1000,
+                                         time_per_item_ms=5.0)
+
+    lines = [
+        "E3 -- Reconfiguration time estimate (Section V)",
+        "",
+        f"paper estimate:                 {PAPER_ESTIMATE_MS:7.1f} ms per PE "
+        f"({PAPER_TLUTS} TLUTs + {PAPER_TCONS} TCONs, HWICAP)",
+        f"measured model (HWICAP):        {estimate:7.1f} ms per PE",
+        f"measured model (MiCAP):         {micap:7.1f} ms per PE",
+        "",
+        "amortization over 1000 images (paper's example):",
+        f"  per-image overhead:           {amortized['per_item_overhead_ms']:7.3f} ms",
+        f"  overhead fraction:            {amortized['overhead_fraction']:7.2%}",
+    ]
+    write_report("reconfiguration_time", lines)
+
+    assert estimate == pytest.approx(PAPER_ESTIMATE_MS, rel=0.25)
+    assert micap < estimate
+    assert amortized["per_item_overhead_ms"] < 1.0
+
+
+def test_scg_specialization_cost(benchmark, scg):
+    """Measure the software half of a reconfiguration: PPC evaluation by the SCG."""
+    spec, generator = scg
+    fmt = spec.fmt
+    coeffs = [0.5, -1.25, 0.125, 3.0]
+    state = {"i": 0}
+
+    def one_specialization():
+        state["i"] += 1
+        coeff = coeffs[state["i"] % len(coeffs)]
+        return generator.specialize(
+            {"coeff": fmt.encode(coeff), "sel_a": 0, "sel_b": 1,
+             "op": PEOp.MAC, "count_limit": 16}
+        )
+
+    outcome = benchmark(one_specialization)
+    summary = generator.summary()
+    model = ReconfigurationCostModel(HWICAP)
+    hw_time = model.time_from_frames_ms(outcome.num_frames, summary["boolean_functions"])
+
+    lines = [
+        "E3b -- SCG specialization on the mapped (reduced-format) PE",
+        "",
+        f"tunable elements: {summary['tluts']} TLUTs + {summary['tcons']} TCONs "
+        f"({summary['boolean_functions']} PPC Boolean functions, {summary['ppc_bits']} PPC bits)",
+        f"frames touched by a coefficient change: {outcome.num_frames}",
+        f"modelled HWICAP micro-reconfiguration time: {hw_time:.2f} ms",
+    ]
+    write_report("reconfiguration_scg", lines)
+    assert outcome.num_frames > 0

@@ -1,0 +1,115 @@
+"""E1 -- Table I: resource utilization and PaR results of one Processing Element.
+
+Paper values (FloPoCo 6/26 MAC PE on the VPR 4-LUT architecture):
+
+    ============== ===========  =====  ===========  ======  ===
+    VCGRA          LUTs(TLUTs)  TCONs  Logic depth  WL      CW
+    ============== ===========  =====  ===========  ======  ===
+    Conventional   2522 (0)     0      36           27242   10
+    Fully param.   1802 (526)   568    33           16824   10
+    ============== ===========  =====  ===========  ======  ===
+
+Shape to reproduce: ~30% fewer LUTs, ~31% less wirelength, slightly lower
+logic depth, no channel-width penalty.  The default benchmark configuration
+uses a reduced FP format (see conftest) so absolute numbers are smaller; set
+``REPRO_FULL=1`` for the paper's format.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import (
+    BENCH_CHANNEL_WIDTH,
+    BENCH_FIND_MIN_CW,
+    BENCH_FP_FORMAT,
+    BENCH_PLACEMENT_EFFORT,
+    BENCH_ROUTER_ITERATIONS,
+    write_report,
+)
+from repro.core.flows import FlowComparison, compare_pe_flows
+from repro.core.pe import ProcessingElementSpec, build_pe_design
+from repro.synth.optimize import optimize
+from repro.techmap import map_parameterized
+
+PAPER_TABLE1 = {
+    "conventional": {"luts": 2522, "tluts": 0, "tcons": 0, "logic_depth": 36,
+                     "wirelength": 27242, "channel_width": 10},
+    "fully_parameterized": {"luts": 1802, "tluts": 526, "tcons": 568, "logic_depth": 33,
+                            "wirelength": 16824, "channel_width": 10},
+}
+
+
+@pytest.fixture(scope="module")
+def pe_spec() -> ProcessingElementSpec:
+    return ProcessingElementSpec(fmt=BENCH_FP_FORMAT)
+
+
+@pytest.fixture(scope="module")
+def comparison(pe_spec) -> FlowComparison:
+    """Both complete flows (synthesis -> mapping -> PaR) on the same PE."""
+    return compare_pe_flows(
+        spec=pe_spec,
+        do_par=True,
+        channel_width=BENCH_CHANNEL_WIDTH,
+        placement_effort=BENCH_PLACEMENT_EFFORT,
+        router_iterations=BENCH_ROUTER_ITERATIONS,
+        find_min_channel_width=BENCH_FIND_MIN_CW,
+        seed=1,
+    )
+
+
+def _format_row(label: str, row: dict) -> str:
+    return (
+        f"{label:<22} luts={row.get('luts', '-'):>6}  tluts={row.get('tluts', '-'):>5}  "
+        f"tcons={row.get('tcons', '-'):>5}  depth={row.get('logic_depth', '-'):>4}  "
+        f"wl={row.get('wirelength', '-'):>7}  cw={row.get('channel_width', '-'):>3}"
+    )
+
+
+def test_table1_reproduction(benchmark, comparison, pe_spec):
+    """Regenerate Table I and check the qualitative claims of the paper."""
+    table = comparison.table()
+    # The timed kernel: assembling the Table I rows from both flow results.
+    summary = benchmark(comparison.summary)
+
+    lines = [
+        "E1 / Table I -- Resource utilization and PaR results of a PE",
+        f"PE datapath: FloPoCo we={pe_spec.fmt.we}, wf={pe_spec.fmt.wf} "
+        f"(paper uses 6/26; set REPRO_FULL=1 to match)",
+        "",
+        "paper:",
+        _format_row("  Conventional", PAPER_TABLE1["conventional"]),
+        _format_row("  Fully parameterized", PAPER_TABLE1["fully_parameterized"]),
+        "measured:",
+        _format_row("  Conventional", table["conventional"]),
+        _format_row("  Fully parameterized", table["fully_parameterized"]),
+        "",
+        f"LUT reduction:          measured {summary['lut_reduction']:6.1%}   paper 28.6%",
+        f"logic depth reduction:  measured {summary['depth_reduction']:6.1%}   paper 8.3%",
+        f"intra-net LUT overhead: measured {summary['intra_network_lut_overhead']:6.1%}   paper ~31%",
+    ]
+    if "wirelength_reduction" in summary:
+        lines.append(
+            f"wirelength reduction:   measured {summary['wirelength_reduction']:6.1%}   paper 38.2%"
+        )
+    write_report("table1_pe_resources", lines)
+
+    conv = table["conventional"]
+    par = table["fully_parameterized"]
+    # The paper's qualitative claims:
+    assert par["luts"] < conv["luts"]                       # fewer LUTs
+    assert par["tcons"] > 0 and conv["tcons"] == 0          # TCONs only in the new flow
+    assert par["logic_depth"] <= conv["logic_depth"]        # no depth penalty
+    assert summary["lut_reduction"] >= 0.15                 # substantial reduction
+    if "wirelength_reduction" in summary:
+        assert summary["wirelength_reduction"] > 0.0        # less wire
+    assert conv["routed"] and par["routed"]
+
+
+def test_benchmark_tconmap_mapping(benchmark, pe_spec):
+    """Time the TCONMAP mapping step of the fully parameterized flow."""
+    circuit = build_pe_design(pe_spec).circuit
+    optimized, _ = optimize(circuit)
+    network = benchmark(map_parameterized, optimized)
+    assert network.num_tcons() > 0

@@ -1,0 +1,84 @@
+"""E2 -- Table II: resource utilization of a 4x4 VCGRA grid.
+
+Paper values::
+
+    ====================  =============  ==================
+    VCGRA                 Inter-Network  Settings register
+    ====================  =============  ==================
+    Conventional          41             25
+    Fully Parameterized   0              0
+    ====================  =============  ==================
+
+The 41 inter-network elements are the 9 virtual switch blocks plus 32 virtual
+connection blocks; the 25 settings registers are one per PE (16) and one per
+VSB (9), each 32 bits wide.  Conventionally they cost LUTs and logic-cell
+flip-flops; fully parameterized they move onto physical routing switches and
+configuration memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_config import write_report
+from repro.core.accounting import grid_resource_details, grid_resource_table
+from repro.core.grid import VCGRAArchitecture
+
+PAPER_TABLE2 = {
+    "conventional": {"inter_network": 41, "settings_registers": 25},
+    "fully_parameterized": {"inter_network": 0, "settings_registers": 0},
+}
+
+
+@pytest.fixture(scope="module")
+def grid() -> VCGRAArchitecture:
+    return VCGRAArchitecture(rows=4, cols=4)
+
+
+def test_table2_reproduction(benchmark, grid):
+    """Regenerate Table II for the paper's 4x4 grid."""
+    table = benchmark(grid_resource_table, grid)
+    details = grid_resource_details(grid)
+
+    lines = [
+        "E2 / Table II -- Resource utilization of a 4x4 VCGRA grid",
+        "",
+        f"{'implementation':<24}{'inter-network':>15}{'settings registers':>22}",
+        f"{'paper / Conventional':<24}{PAPER_TABLE2['conventional']['inter_network']:>15}"
+        f"{PAPER_TABLE2['conventional']['settings_registers']:>22}",
+        f"{'measured / Conventional':<24}{table['conventional'].inter_network:>15}"
+        f"{table['conventional'].settings_registers:>22}",
+        f"{'paper / Fully param.':<24}{PAPER_TABLE2['fully_parameterized']['inter_network']:>15}"
+        f"{PAPER_TABLE2['fully_parameterized']['settings_registers']:>22}",
+        f"{'measured / Fully param.':<24}{table['fully_parameterized'].inter_network:>15}"
+        f"{table['fully_parameterized'].settings_registers:>22}",
+        "",
+        "breakdown: "
+        f"{details['pes']} PEs, {details['vsbs']} VSBs, "
+        f"{details['virtual_connection_blocks']} virtual connection blocks, "
+        f"{details['settings_register_bits']} settings bits "
+        f"(~{details['conventional_ff_estimate']} FFs conventionally, 0 parameterized)",
+    ]
+    write_report("table2_grid_resources", lines)
+
+    # Exact reproduction of Table II.
+    assert table["conventional"].inter_network == PAPER_TABLE2["conventional"]["inter_network"]
+    assert table["conventional"].settings_registers == PAPER_TABLE2["conventional"]["settings_registers"]
+    assert table["fully_parameterized"].inter_network == 0
+    assert table["fully_parameterized"].settings_registers == 0
+
+
+def test_benchmark_grid_scaling(benchmark):
+    """Time the accounting across grid sizes (series behind Table II)."""
+
+    def sweep():
+        rows = {}
+        for n in (2, 4, 6, 8, 12, 16):
+            arch = VCGRAArchitecture(rows=n, cols=n)
+            rows[n] = grid_resource_table(arch)["conventional"]
+        return rows
+
+    rows = benchmark(sweep)
+    assert rows[4].inter_network == 41
+    # quadratic growth of the virtual network with grid side
+    assert rows[8].inter_network > 4 * rows[2].inter_network

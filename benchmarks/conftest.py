@@ -1,0 +1,15 @@
+"""Pytest configuration for the benchmark harness.
+
+The shared knobs and helpers live in ``_bench_config`` so the benchmark
+modules can import them directly; see that module's docstring for the
+``REPRO_FULL`` environment switch.
+"""
+
+import pytest
+
+from _bench_config import BENCH_FP_FORMAT
+
+
+@pytest.fixture(scope="session")
+def bench_format():
+    return BENCH_FP_FORMAT

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how the TCON savings scale with the PE's precision.
+
+Sweeps the FloPoCo datapath precision of the Processing Element, maps each
+variant with the conventional flow, the semi-parameterized flow (TLUTs only,
+prior work [2]) and the fully parameterized flow (this paper), and prints the
+LUT/TCON counts plus the reconfiguration cost of each variant.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core.pe import ProcessingElementSpec, build_pe_design
+from repro.core.reconfiguration import HWICAP, ReconfigurationCostModel
+from repro.flopoco.format import FPFormat
+from repro.synth.optimize import optimize
+from repro.techmap import map_conventional, map_parameterized
+
+
+def main() -> None:
+    formats = [FPFormat(4, 6), FPFormat(5, 10), FPFormat(6, 14), FPFormat(6, 18)]
+    model = ReconfigurationCostModel(HWICAP)
+
+    print(f"{'format':<8}{'conv LUTs':>10}{'semi LUTs':>10}{'full LUTs':>10}"
+          f"{'TLUTs':>7}{'TCONs':>7}{'LUT save':>10}{'reconf ms':>11}")
+    for fmt in formats:
+        spec = ProcessingElementSpec(fmt=fmt)
+        circuit = build_pe_design(spec).circuit
+        optimized, _ = optimize(circuit)
+
+        conventional = map_conventional(optimized)
+        semi = map_parameterized(optimized, extract_tcons=False)
+        full = map_parameterized(optimized)
+
+        saving = 1 - full.num_luts() / conventional.num_luts()
+        reconf = model.estimate_time_ms(full.num_tluts(), full.num_tcons())
+        print(f"{fmt.we}/{fmt.wf:<6}{conventional.num_luts():>10}{semi.num_luts():>10}"
+              f"{full.num_luts():>10}{full.num_tluts():>7}{full.num_tcons():>7}"
+              f"{saving:>10.1%}{reconf:>11.1f}")
+
+    print("\nThe fully parameterized mapping (TLUTs + TCONs) consistently needs the")
+    print("fewest LUTs; the gap to the conventional flow grows with the datapath")
+    print("precision because the intra-connect widens with the word size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: parameterize a MAC Processing Element and compare both flows.
+
+This walks the core loop of the paper in a couple of minutes:
+
+1. build the PE (FloPoCo MAC datapath + settings-driven intra-connect) with
+   the filter coefficient annotated as a ``--PARAM`` input,
+2. run the conventional flow (everything in LUTs, settings in flip-flops),
+3. run the fully parameterized flow (TCONMAP: TLUTs + TCONs),
+4. specialize the parameterized PE for a concrete coefficient with the SCG
+   and check it computes the same MAC result,
+5. print a small Table-I-style comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.flows import compare_pe_flows
+from repro.core.pe import PEOp, ProcessingElementSpec, build_pe_design
+from repro.flopoco.arithmetic import fp_mac
+from repro.flopoco.format import FPFormat
+
+
+def main() -> None:
+    # A reduced FloPoCo format keeps the run short; the paper uses we=6, wf=26.
+    fmt = FPFormat(we=5, wf=10)
+    spec = ProcessingElementSpec(fmt=fmt, num_inputs=2, counter_width=8)
+    print(f"Processing Element: FloPoCo we={fmt.we} wf={fmt.wf}, "
+          f"{spec.settings_bits} settings bits\n")
+
+    # --- run both flows (mapping only; add do_par=True for wirelength numbers) ---
+    cmp = compare_pe_flows(spec=spec, do_par=False)
+    table = cmp.table()
+    print(f"{'flow':<22}{'LUTs':>8}{'TLUTs':>8}{'TCONs':>8}{'depth':>8}")
+    for name, row in table.items():
+        print(f"{name:<22}{row['luts']:>8}{row['tluts']:>8}{row['tcons']:>8}"
+              f"{row['logic_depth']:>8}")
+    print(f"\nLUT reduction: {cmp.lut_reduction():.1%}   "
+          f"depth reduction: {cmp.depth_reduction():.1%}\n")
+
+    # --- specialize the parameterized PE for a coefficient and verify it ---------
+    network = cmp.parameterized.network
+    coeff_value = -0.4375
+    sample_value, acc_value = 2.5, 0.75
+    params = {
+        "coeff": fmt.encode(coeff_value),
+        "sel_a": 0, "sel_b": 1, "op": PEOp.MAC, "count_limit": 1,
+    }
+    stim = {
+        "in0": [fmt.encode(sample_value)],
+        "in1": [fmt.encode(acc_value)],
+        "count": [0],
+    }
+    out = network.evaluate_words(stim, params)
+    got = fmt.decode(out["out"][0])
+    expected_word = fp_mac(fmt, fmt.encode(acc_value), fmt.encode(sample_value),
+                           fmt.encode(coeff_value))
+    print(f"specialized PE: {acc_value} + {sample_value} * {coeff_value} = {got:.6f} "
+          f"(bit-exact with the FloPoCo model: {out['out'][0] == expected_word})")
+
+
+if __name__ == "__main__":
+    main()

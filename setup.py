@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package can be installed in environments without the ``wheel`` package or
+network access (``python setup.py develop`` / legacy editable installs).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro: reproduction of the fully parameterized VCGRA (Kulkarni et al., IPDPSW 2016).
+
+The package is organized bottom-up:
+
+* :mod:`repro.netlist` -- gate-level circuits, Boolean functions, HDL builder.
+* :mod:`repro.synth` -- logic synthesis and (parameter-aware) optimization.
+* :mod:`repro.techmap` -- conventional 4-LUT mapping and TCONMAP (TLUTs + TCONs).
+* :mod:`repro.fpga` -- VPR-style island FPGA model and configuration memory.
+* :mod:`repro.par` -- TPLACE/TROUTE-style placement and routing (TPaR).
+* :mod:`repro.flopoco` -- FloPoCo-format floating point and circuit generators.
+* :mod:`repro.core` -- the VCGRA overlay itself: grid, PEs, tool flows,
+  dynamic circuit specialization and reconfiguration cost model.
+* :mod:`repro.vsim` -- functional (cycle-level) simulation of a configured VCGRA.
+* :mod:`repro.apps` -- the retinal vessel segmentation HPC application.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""Retinal vessel segmentation: the HPC application of the paper's evaluation."""
+
+from .filters import (
+    DEFAULT_ORIENTATIONS,
+    convolve2d,
+    gaussian_kernel,
+    matched_filter_kernels,
+    pad_for_kernel,
+    texture_kernel,
+    threshold_image,
+)
+from .images import SyntheticFundus, generate_fundus
+from .mapping import FilterMappingReport, VCGRAFilterEngine, kernel_to_applications
+from .preprocessing import (
+    extract_green_channel,
+    histogram_equalization,
+    preprocess,
+    remove_optic_disc,
+    remove_outer_region,
+)
+from .retina import RetinalVesselSegmentation, SegmentationConfig, SegmentationResult
+
+__all__ = [
+    "DEFAULT_ORIENTATIONS",
+    "convolve2d",
+    "gaussian_kernel",
+    "matched_filter_kernels",
+    "pad_for_kernel",
+    "texture_kernel",
+    "threshold_image",
+    "SyntheticFundus",
+    "generate_fundus",
+    "FilterMappingReport",
+    "VCGRAFilterEngine",
+    "kernel_to_applications",
+    "extract_green_channel",
+    "histogram_equalization",
+    "preprocess",
+    "remove_optic_disc",
+    "remove_outer_region",
+    "RetinalVesselSegmentation",
+    "SegmentationConfig",
+    "SegmentationResult",
+]

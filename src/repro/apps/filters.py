@@ -1,0 +1,159 @@
+"""Filter kernels and convolution engine of the retina pipeline's hardware part.
+
+Three families of filters appear in Figure 5 of the paper, all built on the
+same MAC core:
+
+* a Gaussian **denoise filter** (5x5 and 9x9 coefficient sets),
+* the **matched vessel-detection filters**: Gaussian-profile line detectors
+  steered over 7 orientations with 16x16 coefficient sets (Chaudhuri et al.),
+* a **texture filter** (16x16, also applied at 5x5/9x9) that keeps only
+  responses of a minimum thickness.
+
+Every kernel is just a coefficient array; the hardware module is the MAC
+Processing Element that multiplies image samples with those coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gaussian_kernel",
+    "matched_filter_kernels",
+    "texture_kernel",
+    "convolve2d",
+    "threshold_image",
+    "DEFAULT_ORIENTATIONS",
+]
+
+#: the paper steers the matched filter over seven directions
+DEFAULT_ORIENTATIONS = 7
+
+
+def gaussian_kernel(size: int, sigma: Optional[float] = None) -> np.ndarray:
+    """Normalized 2-D Gaussian denoise kernel (the 5x5 / 9x9 sets of the paper)."""
+    if size < 1 or size % 2 == 0:
+        raise ValueError("Gaussian kernel size must be odd and positive")
+    sigma = sigma if sigma is not None else 0.3 * ((size - 1) * 0.5 - 1) + 0.8
+    half = size // 2
+    y, x = np.mgrid[-half : half + 1, -half : half + 1]
+    kernel = np.exp(-(x**2 + y**2) / (2.0 * sigma**2))
+    return kernel / kernel.sum()
+
+
+def _matched_filter_base(size: int, sigma: float, length: float) -> np.ndarray:
+    """Un-rotated matched filter: a Gaussian valley profile along the x axis.
+
+    The cross-section of a vessel is modelled as an (inverted) Gaussian; the
+    kernel is made zero-mean so flat background produces no response.
+    """
+    half = size / 2.0 - 0.5
+    y, x = np.mgrid[0:size, 0:size]
+    y = y - half
+    x = x - half
+    profile = np.exp(-(y**2) / (2.0 * sigma**2))
+    support = np.abs(x) <= length / 2.0
+    kernel = np.where(support, profile, 0.0)
+    kernel[support] -= kernel[support].mean()
+    return kernel
+
+
+def _rotate_kernel(kernel: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rotate a kernel by nearest-neighbour resampling (keeps coefficients exact)."""
+    size = kernel.shape[0]
+    half = size / 2.0 - 0.5
+    y, x = np.mgrid[0:size, 0:size]
+    y = y - half
+    x = x - half
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    src_x = c * x + s * y + half
+    src_y = -s * x + c * y + half
+    sx = np.clip(np.rint(src_x).astype(int), 0, size - 1)
+    sy = np.clip(np.rint(src_y).astype(int), 0, size - 1)
+    rotated = kernel[sy, sx]
+    inside = (np.rint(src_x) >= 0) & (np.rint(src_x) < size) & \
+             (np.rint(src_y) >= 0) & (np.rint(src_y) < size)
+    rotated = np.where(inside, rotated, 0.0)
+    if np.any(rotated != 0):
+        rotated = rotated - rotated[rotated != 0].mean() * (rotated != 0)
+    return rotated
+
+
+def matched_filter_kernels(
+    size: int = 16,
+    sigma: float = 2.0,
+    length: Optional[float] = None,
+    orientations: int = DEFAULT_ORIENTATIONS,
+) -> List[np.ndarray]:
+    """The steerable matched-filter bank (7 rotations of a 16x16 kernel)."""
+    if orientations < 1:
+        raise ValueError("need at least one orientation")
+    length = length if length is not None else 0.75 * size
+    base = _matched_filter_base(size, sigma, length)
+    kernels = []
+    for k in range(orientations):
+        angle = math.pi * k / orientations
+        kernels.append(_rotate_kernel(base, angle))
+    return kernels
+
+
+def texture_kernel(size: int = 16, thickness: float = 2.5) -> np.ndarray:
+    """Texture-processing kernel: keeps lines of a minimum thickness.
+
+    Implemented as a centre-surround (difference of Gaussians) kernel whose
+    positive core has the requested thickness; thin, high-frequency responses
+    cancel while thick line segments survive.
+    """
+    if size < 3:
+        raise ValueError("texture kernel must be at least 3x3")
+    half = size / 2.0 - 0.5
+    y, x = np.mgrid[0:size, 0:size]
+    r2 = (y - half) ** 2 + (x - half) ** 2
+    core = np.exp(-r2 / (2.0 * thickness**2))
+    surround = np.exp(-r2 / (2.0 * (2.2 * thickness) ** 2))
+    kernel = core / core.sum() - surround / surround.sum()
+    return kernel
+
+
+def pad_for_kernel(image: np.ndarray, kernel_shape: Tuple[int, int]) -> np.ndarray:
+    """Symmetric padding so a sliding window of ``kernel_shape`` covers every pixel."""
+    kh, kw = kernel_shape
+    return np.pad(
+        np.asarray(image, dtype=np.float64),
+        (((kh - 1) // 2, kh // 2), ((kw - 1) // 2, kw // 2)),
+        mode="symmetric",
+    )
+
+
+def convolve2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Same-size 2-D correlation (the MAC hardware computes sample*coeff sums).
+
+    Correlation (not convolution) is used so that the coefficient at kernel
+    position (i, j) multiplies the image sample at the same window offset --
+    exactly the order in which the VCGRA's MAC chain consumes window samples.
+    The image is padded symmetrically; this is also the window extraction the
+    VCGRA filter engine uses, so the NumPy reference and the overlay-simulated
+    filter see identical samples.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    k = np.asarray(kernel, dtype=np.float64)
+    padded = pad_for_kernel(img, k.shape)
+    windows = np.lib.stride_tricks.sliding_window_view(padded, k.shape)
+    return np.tensordot(windows, k, axes=([2, 3], [0, 1]))
+
+
+def threshold_image(image: np.ndarray, percentile: float = 90.0,
+                    mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Binary threshold at a percentile of the (masked) response distribution."""
+    img = np.asarray(image, dtype=np.float64)
+    region = img[mask] if mask is not None else img
+    if region.size == 0:
+        return np.zeros_like(img, dtype=bool)
+    level = np.percentile(region, percentile)
+    out = img >= level
+    if mask is not None:
+        out &= mask
+    return out

@@ -1,0 +1,195 @@
+"""Mapping the retina filters onto the VCGRA.
+
+The hardware modules of the application "all share the same core
+architecture and what changes is size and coefficients of the filter
+kernels" (Section IV).  That core is the MAC Processing Element; a filter is
+implemented by loading its coefficients into the settings registers of a set
+of PEs and streaming image samples through them.
+
+The :class:`VCGRAFilterEngine` below performs 2-D filtering *on the VCGRA
+functional simulator*:
+
+* the kernel's coefficients are split into chains of MAC PEs (one chain per
+  grid column, one tap per row);
+* each chain computes a partial dot product of one window in one dataflow
+  step; the partial sums of all chains are accumulated;
+* kernels with more taps than the grid has PEs are processed in several
+  *configurations*; switching configurations is a reconfiguration of the
+  overlay and is priced by the reconfiguration cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.grid import VCGRAArchitecture
+from ..core.pe import PEOp, ProcessingElementSpec
+from ..core.reconfiguration import ReconfigurationCostModel
+from ..core.toolflow import ApplicationGraph, PEOperation, ToolflowReport, run_vcgra_toolflow
+from ..flopoco.format import FPFormat
+from ..vsim.simulator import VCGRASimulator
+from .filters import pad_for_kernel
+
+__all__ = ["kernel_to_applications", "VCGRAFilterEngine", "FilterMappingReport"]
+
+
+def kernel_to_applications(
+    coefficients: Sequence[float],
+    arch: VCGRAArchitecture,
+) -> List[Tuple[ApplicationGraph, List[int]]]:
+    """Split a flat coefficient list into VCGRA application graphs.
+
+    Each application fills the grid with MAC chains (one per column, one tap
+    per row); the return value pairs every application graph with the indices
+    of the coefficients it covers, so the caller can assemble partial sums.
+    """
+    taps = list(coefficients)
+    chain_len = arch.rows
+    chains_per_app = arch.cols
+    taps_per_app = chain_len * chains_per_app
+
+    applications: List[Tuple[ApplicationGraph, List[int]]] = []
+    for start in range(0, len(taps), taps_per_app):
+        chunk = list(range(start, min(start + taps_per_app, len(taps))))
+        app = ApplicationGraph(
+            f"filter_taps_{start}",
+            external_inputs=[f"x{i}" for i in chunk] + ["zero"],
+        )
+        for chain_idx in range(chains_per_app):
+            chain = chunk[chain_idx * chain_len : (chain_idx + 1) * chain_len]
+            if not chain:
+                break
+            prev = "zero"
+            for tap in chain:
+                name = f"mac{tap}"
+                app.add_operation(
+                    PEOperation(
+                        name=name,
+                        op=PEOp.MAC,
+                        coefficient=float(taps[tap]),
+                        count_limit=1,
+                        sample_input=f"x{tap}",
+                        acc_input=prev,
+                    )
+                )
+                prev = name
+            app.add_output(f"partial{chain_idx}", prev)
+        applications.append((app, chunk))
+    return applications
+
+
+@dataclass
+class FilterMappingReport:
+    """How one kernel maps onto the overlay."""
+
+    kernel_shape: Tuple[int, int]
+    num_taps: int
+    num_configurations: int
+    pes_per_configuration: int
+    compile_seconds: float
+    reconfigurations_per_kernel_change: int
+
+    def reconfiguration_time_ms(
+        self, model: ReconfigurationCostModel, tluts_per_pe: int, tcons_per_pe: int
+    ) -> float:
+        """Overlay reconfiguration time when the filter coefficients change."""
+        per_pe = model.estimate_time_ms(tluts_per_pe, tcons_per_pe)
+        return per_pe * self.pes_per_configuration * self.num_configurations
+
+
+class VCGRAFilterEngine:
+    """2-D filtering executed on the VCGRA functional simulator."""
+
+    def __init__(
+        self,
+        kernel: np.ndarray,
+        arch: Optional[VCGRAArchitecture] = None,
+        fmt: Optional[FPFormat] = None,
+    ) -> None:
+        self.kernel = np.asarray(kernel, dtype=np.float64)
+        if self.kernel.ndim != 2:
+            raise ValueError("kernel must be 2-D")
+        if arch is None:
+            fmt = fmt or FPFormat(we=6, wf=26)
+            arch = VCGRAArchitecture(
+                rows=4, cols=4, pe_spec=ProcessingElementSpec(fmt=fmt)
+            )
+        self.arch = arch
+        self.fmt = arch.pe_spec.fmt
+
+        coefficients = self.kernel.ravel().tolist()
+        import time
+
+        t0 = time.perf_counter()
+        self.configurations: List[Tuple[ToolflowReport, List[int]]] = []
+        for app, taps in kernel_to_applications(coefficients, arch):
+            report = run_vcgra_toolflow(app, arch)
+            self.configurations.append((report, taps))
+        compile_seconds = time.perf_counter() - t0
+
+        self.report = FilterMappingReport(
+            kernel_shape=self.kernel.shape,
+            num_taps=self.kernel.size,
+            num_configurations=len(self.configurations),
+            pes_per_configuration=min(self.kernel.size, arch.num_pes),
+            compile_seconds=compile_seconds,
+            reconfigurations_per_kernel_change=len(self.configurations),
+        )
+        self._simulators = [
+            VCGRASimulator(arch, report.settings) for report, _ in self.configurations
+        ]
+
+    # -- window-level execution ---------------------------------------------------
+
+    def apply_window(self, window: np.ndarray) -> float:
+        """Dot product of one image window with the kernel, on the overlay."""
+        flat = np.asarray(window, dtype=np.float64).ravel()
+        if flat.size != self.kernel.size:
+            raise ValueError("window shape does not match the kernel")
+        total = 0.0
+        zero = self.fmt.encode(0.0)
+        for (report, taps), sim in zip(self.configurations, self._simulators):
+            streams = {f"x{t}": flat[t] for t in taps}
+            streams["zero"] = 0.0
+            trace = sim.run({k: [v] for k, v in streams.items()})
+            total += sum(values[-1] for values in trace.outputs.values())
+        return total
+
+    # -- image-level execution ------------------------------------------------------
+
+    def apply(self, image: np.ndarray, stride: int = 1) -> np.ndarray:
+        """Filter a whole image on the overlay (same-size output, symmetric padding).
+
+        ``stride`` > 1 evaluates a regular subgrid of output pixels (used by
+        the benchmarks to bound runtime on larger images); skipped pixels are
+        filled by nearest evaluated neighbour.
+        """
+        img = np.asarray(image, dtype=np.float64)
+        padded = pad_for_kernel(img, self.kernel.shape)
+        h, w = img.shape
+        kh, kw = self.kernel.shape
+        out = np.zeros_like(img)
+        for i in range(0, h, stride):
+            for j in range(0, w, stride):
+                window = padded[i : i + kh, j : j + kw]
+                out[i, j] = self.apply_window(window)
+        if stride > 1:
+            # nearest-neighbour fill of the skipped positions
+            ii = (np.arange(h) // stride) * stride
+            jj = (np.arange(w) // stride) * stride
+            out = out[np.ix_(ii, jj)]
+        return out
+
+    def reconfiguration_time_ms(
+        self,
+        model: Optional[ReconfigurationCostModel] = None,
+        tluts_per_pe: int = 526,
+        tcons_per_pe: int = 568,
+    ) -> float:
+        """Cost of loading new coefficients for this kernel (all configurations)."""
+        model = model or ReconfigurationCostModel()
+        return self.report.reconfiguration_time_ms(model, tluts_per_pe, tcons_per_pe)

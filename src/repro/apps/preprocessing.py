@@ -1,0 +1,123 @@
+"""Software preprocessing steps of the retinal vessel segmentation pipeline.
+
+Figure 5 of the paper: "the preprocessing steps are implemented in software,
+while all filtering operations are implemented as hardware modules".  The
+software part consists of green-channel extraction, histogram equalization,
+optic-disc removal and outer-region (field-of-view border) removal; they are
+implemented here with NumPy only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "extract_green_channel",
+    "histogram_equalization",
+    "remove_optic_disc",
+    "remove_outer_region",
+    "preprocess",
+]
+
+
+def extract_green_channel(rgb: np.ndarray) -> np.ndarray:
+    """Keep the green channel of an RGB fundus image (most vessel contrast)."""
+    if rgb.ndim != 3 or rgb.shape[2] < 3:
+        raise ValueError("expected an (H, W, 3) RGB image")
+    return rgb[:, :, 1].astype(np.float64)
+
+
+def histogram_equalization(image: np.ndarray, num_bins: int = 256,
+                           mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Global histogram equalization restricted to the field of view."""
+    img = np.asarray(image, dtype=np.float64)
+    if mask is None:
+        mask = np.ones_like(img, dtype=bool)
+    values = img[mask]
+    if values.size == 0:
+        return img.copy()
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return img.copy()
+    normalized = (img - lo) / (hi - lo)
+    hist, bin_edges = np.histogram(normalized[mask], bins=num_bins, range=(0.0, 1.0))
+    cdf = np.cumsum(hist).astype(np.float64)
+    cdf /= cdf[-1]
+    equalized = np.interp(normalized.ravel(), bin_edges[:-1], cdf).reshape(img.shape)
+    out = img.copy()
+    out[mask] = equalized[mask]
+    return out
+
+
+def remove_optic_disc(
+    image: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    disc_radius_fraction: float = 0.12,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Suppress the optic disc (the brightest compact region of the image).
+
+    The disc centre is estimated as the argmax of a heavily smoothed copy of
+    the image; a disc of ``disc_radius_fraction * image size`` around it is
+    replaced by the local median intensity so the bright rim does not trigger
+    the matched filters.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if mask is None:
+        mask = np.ones_like(img, dtype=bool)
+    # cheap separable box smoothing (no SciPy needed here)
+    k = max(3, int(0.05 * max(img.shape)) | 1)
+    kernel = np.ones(k) / k
+    smoothed = np.apply_along_axis(lambda r: np.convolve(r, kernel, mode="same"), 1, img)
+    smoothed = np.apply_along_axis(lambda c: np.convolve(c, kernel, mode="same"), 0, smoothed)
+    smoothed = np.where(mask, smoothed, -np.inf)
+    cy, cx = np.unravel_index(int(np.argmax(smoothed)), img.shape)
+
+    yy, xx = np.mgrid[0 : img.shape[0], 0 : img.shape[1]]
+    disc_radius = disc_radius_fraction * max(img.shape)
+    disc = (yy - cy) ** 2 + (xx - cx) ** 2 <= disc_radius**2
+    out = img.copy()
+    fill = np.median(img[mask & ~disc]) if np.any(mask & ~disc) else float(img.mean())
+    out[disc & mask] = fill
+    return out, (int(cy), int(cx))
+
+
+def remove_outer_region(
+    image: np.ndarray, fov_mask: np.ndarray, border: int = 2
+) -> np.ndarray:
+    """Clear everything outside (and just inside the rim of) the field of view."""
+    img = np.asarray(image, dtype=np.float64)
+    mask = np.asarray(fov_mask, dtype=bool)
+    if border > 0:
+        eroded = mask.copy()
+        for _ in range(border):
+            shrunk = eroded.copy()
+            shrunk[1:, :] &= eroded[:-1, :]
+            shrunk[:-1, :] &= eroded[1:, :]
+            shrunk[:, 1:] &= eroded[:, :-1]
+            shrunk[:, :-1] &= eroded[:, 1:]
+            eroded = shrunk
+        mask = eroded
+    out = img.copy()
+    fill = float(np.median(img[mask])) if np.any(mask) else 0.0
+    out[~mask] = fill
+    return out
+
+
+def preprocess(rgb: np.ndarray, fov_mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full software preprocessing chain of Figure 5.
+
+    Returns the preprocessed intensity image handed to the hardware filters.
+    Vessels are dark in fundus images, so the image is inverted at the end:
+    the matched filters then respond positively on vessels.
+    """
+    green = extract_green_channel(rgb)
+    if fov_mask is None:
+        fov_mask = green > 0.05
+    equalized = histogram_equalization(green, mask=fov_mask)
+    no_disc, _ = remove_optic_disc(equalized, mask=fov_mask)
+    cleaned = remove_outer_region(no_disc, fov_mask)
+    inverted = 1.0 - cleaned
+    inverted[~fov_mask] = 0.0
+    return inverted

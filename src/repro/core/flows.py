@@ -1,0 +1,204 @@
+"""Gate-level evaluation flows: conventional vs fully parameterized PE.
+
+These drivers produce the numbers of the paper's Table I: one Processing
+Element is pushed through
+
+* the **conventional flow** -- synthesis, ABC-style optimization, conventional
+  LUT mapping (parameters as ordinary inputs), TPLACE/TROUTE -- and
+* the **fully parameterized flow** -- the same front end followed by TCONMAP
+  (TLUTs + TCONs) and TPLACE/TROUTE,
+
+and the LUT / TCON / logic-depth / wirelength / channel-width metrics of the
+two runs are compared.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..fpga.architecture import FPGAArchitecture
+from ..netlist.circuit import Circuit
+from ..par.flow import PaRResult, place_and_route
+from ..synth.synthesis import SynthesisResult, synthesize
+from ..techmap.lutmap import map_conventional
+from ..techmap.mapping import MappedNetwork
+from ..techmap.tconmap import map_parameterized
+from .pe import ProcessingElementSpec, build_pe_design
+
+__all__ = ["PEFlowResult", "FlowComparison", "run_pe_flow", "compare_pe_flows"]
+
+
+@dataclass
+class PEFlowResult:
+    """Result of pushing one circuit through one of the two flows."""
+
+    flow: str                        #: "conventional" or "fully_parameterized"
+    synthesis: SynthesisResult
+    network: MappedNetwork
+    par: Optional[PaRResult]
+    elapsed_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.elapsed_seconds.values())
+
+    def table1_row(self) -> Dict[str, object]:
+        """The metrics of one row of Table I."""
+        row: Dict[str, object] = {
+            "flow": self.flow,
+            "luts": self.network.num_luts(),
+            "tluts": self.network.num_tluts(),
+            "tcons": self.network.num_tcons(),
+            "logic_depth": self.network.depth(),
+        }
+        if self.par is not None:
+            row["wirelength"] = self.par.wirelength
+            row["channel_width"] = (
+                self.par.min_channel_width.min_channel_width
+                if self.par.min_channel_width is not None
+                else self.par.device.arch.channel_width
+            )
+            row["routed"] = self.par.routing.success
+            row["critical_path_ns"] = self.par.timing.critical_path_ns
+        return row
+
+
+@dataclass
+class FlowComparison:
+    """Both rows of Table I plus the derived improvement percentages."""
+
+    conventional: PEFlowResult
+    parameterized: PEFlowResult
+
+    def lut_reduction(self) -> float:
+        conv = self.conventional.network.num_luts()
+        par = self.parameterized.network.num_luts()
+        return 1.0 - par / conv if conv else 0.0
+
+    def depth_reduction(self) -> float:
+        conv = self.conventional.network.depth()
+        par = self.parameterized.network.depth()
+        return 1.0 - par / conv if conv else 0.0
+
+    def wirelength_reduction(self) -> Optional[float]:
+        if self.conventional.par is None or self.parameterized.par is None:
+            return None
+        conv = self.conventional.par.wirelength
+        par = self.parameterized.par.wirelength
+        return 1.0 - par / conv if conv else 0.0
+
+    def intra_network_lut_overhead(self) -> float:
+        """Fraction of the parameterized design's LUT count that the
+        conventional flow additionally spends -- the paper's ~31% intra-network
+        overhead figure (TCON logic realized on LUTs)."""
+        conv = self.conventional.network.num_luts()
+        par = self.parameterized.network.num_luts()
+        return (conv - par) / par if par else 0.0
+
+    def table(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "conventional": self.conventional.table1_row(),
+            "fully_parameterized": self.parameterized.table1_row(),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        out = {
+            "lut_reduction": self.lut_reduction(),
+            "depth_reduction": self.depth_reduction(),
+            "intra_network_lut_overhead": self.intra_network_lut_overhead(),
+        }
+        wl = self.wirelength_reduction()
+        if wl is not None:
+            out["wirelength_reduction"] = wl
+        return out
+
+
+def run_pe_flow(
+    circuit: Circuit,
+    parameterized: bool,
+    do_par: bool = True,
+    arch: Optional[FPGAArchitecture] = None,
+    channel_width: int = 10,
+    placement_effort: float = 1.0,
+    router_iterations: int = 25,
+    find_min_channel_width: bool = False,
+    seed: int = 0,
+) -> PEFlowResult:
+    """Push a circuit through one complete flow (synthesis -> mapping -> PaR)."""
+    elapsed: Dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    synth = synthesize(circuit)
+    elapsed["synthesis"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if parameterized:
+        network = map_parameterized(synth.circuit)
+    else:
+        network = map_conventional(synth.circuit)
+    elapsed["technology_mapping"] = time.perf_counter() - t0
+
+    par = None
+    if do_par:
+        t0 = time.perf_counter()
+        par = place_and_route(
+            network,
+            arch=arch,
+            channel_width=channel_width,
+            placement_effort=placement_effort,
+            router_iterations=router_iterations,
+            find_min_channel_width=find_min_channel_width,
+            seed=seed,
+        )
+        elapsed["place_and_route"] = time.perf_counter() - t0
+
+    return PEFlowResult(
+        flow="fully_parameterized" if parameterized else "conventional",
+        synthesis=synth,
+        network=network,
+        par=par,
+        elapsed_seconds=elapsed,
+    )
+
+
+def compare_pe_flows(
+    spec: Optional[ProcessingElementSpec] = None,
+    circuit: Optional[Circuit] = None,
+    do_par: bool = True,
+    channel_width: int = 10,
+    placement_effort: float = 1.0,
+    router_iterations: int = 25,
+    find_min_channel_width: bool = False,
+    seed: int = 0,
+) -> FlowComparison:
+    """Run both flows on the same Processing Element and compare them (Table I).
+
+    Either a :class:`ProcessingElementSpec` (the PE is elaborated internally)
+    or an explicit circuit can be supplied.
+    """
+    if circuit is None:
+        spec = spec or ProcessingElementSpec()
+        circuit = build_pe_design(spec).circuit
+    conventional = run_pe_flow(
+        circuit,
+        parameterized=False,
+        do_par=do_par,
+        channel_width=channel_width,
+        placement_effort=placement_effort,
+        router_iterations=router_iterations,
+        find_min_channel_width=find_min_channel_width,
+        seed=seed,
+    )
+    parameterized = run_pe_flow(
+        circuit,
+        parameterized=True,
+        do_par=do_par,
+        channel_width=channel_width,
+        placement_effort=placement_effort,
+        router_iterations=router_iterations,
+        find_min_channel_width=find_min_channel_width,
+        seed=seed,
+    )
+    return FlowComparison(conventional=conventional, parameterized=parameterized)

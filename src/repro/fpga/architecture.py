@@ -1,0 +1,139 @@
+"""Island-style FPGA architecture model.
+
+The paper performs place and route with the TPaR CAD tool on the "4LUT
+sanitized" FPGA architecture that ships with VPR: an island-style array of
+logic blocks, each containing a single 4-input LUT (one BLE per cluster),
+surrounded by IO pads, with unit-length routing wires, subset (disjoint)
+switch blocks and fully populated connection blocks.  This module describes
+that architecture parametrically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+__all__ = ["FPGAArchitecture", "Site", "auto_size"]
+
+
+@dataclass(frozen=True)
+class Site:
+    """A placement site on the FPGA grid."""
+
+    x: int
+    y: int
+    kind: str        # "clb" or "io"
+    subtile: int = 0  # IO pads stack several sites per grid location
+
+    def as_tuple(self) -> Tuple[int, int, str, int]:
+        return (self.x, self.y, self.kind, self.subtile)
+
+
+@dataclass(frozen=True)
+class FPGAArchitecture:
+    """Parametric description of the island-style FPGA.
+
+    The logic array spans grid positions ``1..width`` by ``1..height``; the
+    perimeter (x==0, x==width+1, y==0, y==height+1) holds IO pads.  Routing
+    channels of ``channel_width`` unit-length wires run between adjacent grid
+    rows and columns.
+    """
+
+    width: int
+    height: int
+    channel_width: int = 10
+    lut_inputs: int = 4
+    io_capacity: int = 2          #: IO pads per perimeter grid location
+    fc_in: float = 1.0            #: fraction of channel wires a CLB input pin can reach
+    fc_out: float = 1.0           #: fraction of channel wires a CLB output pin can drive
+    lut_delay_ns: float = 0.4     #: intrinsic LUT delay (timing model)
+    wire_delay_ns: float = 0.15   #: delay of one unit-length routing segment
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("FPGA array must be at least 1x1")
+        if self.channel_width < 1:
+            raise ValueError("channel width must be positive")
+        if not 0.0 < self.fc_in <= 1.0 or not 0.0 < self.fc_out <= 1.0:
+            raise ValueError("fc_in / fc_out must be in (0, 1]")
+
+    # -- capacity --------------------------------------------------------------
+
+    @property
+    def num_clb_sites(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_io_sites(self) -> int:
+        return 2 * (self.width + self.height) * self.io_capacity
+
+    def clb_sites(self) -> Iterator[Site]:
+        """All logic-block sites (x, y in 1..width/height)."""
+        for x in range(1, self.width + 1):
+            for y in range(1, self.height + 1):
+                yield Site(x, y, "clb")
+
+    def io_sites(self) -> Iterator[Site]:
+        """All IO pad sites on the perimeter."""
+        for x in range(1, self.width + 1):
+            for sub in range(self.io_capacity):
+                yield Site(x, 0, "io", sub)
+                yield Site(x, self.height + 1, "io", sub)
+        for y in range(1, self.height + 1):
+            for sub in range(self.io_capacity):
+                yield Site(0, y, "io", sub)
+                yield Site(self.width + 1, y, "io", sub)
+
+    def with_channel_width(self, channel_width: int) -> "FPGAArchitecture":
+        """Copy of this architecture with a different channel width."""
+        return FPGAArchitecture(
+            width=self.width,
+            height=self.height,
+            channel_width=channel_width,
+            lut_inputs=self.lut_inputs,
+            io_capacity=self.io_capacity,
+            fc_in=self.fc_in,
+            fc_out=self.fc_out,
+            lut_delay_ns=self.lut_delay_ns,
+            wire_delay_ns=self.wire_delay_ns,
+        )
+
+    # -- bookkeeping helpers -----------------------------------------------------
+
+    def contains_clb(self, x: int, y: int) -> bool:
+        return 1 <= x <= self.width and 1 <= y <= self.height
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by benches and examples)."""
+        return (
+            f"{self.width}x{self.height} array, {self.lut_inputs}-LUT logic blocks, "
+            f"W={self.channel_width}, {self.io_capacity} IO/pad site"
+        )
+
+
+def auto_size(
+    num_luts: int,
+    num_ios: int,
+    channel_width: int = 10,
+    utilization: float = 0.8,
+    lut_inputs: int = 4,
+    io_capacity: int = 2,
+) -> FPGAArchitecture:
+    """Pick the smallest square array that fits a design (VPR's auto-sizing rule).
+
+    The array is sized so that at most ``utilization`` of the logic sites are
+    used and the perimeter offers enough IO pads.
+    """
+    if num_luts < 0 or num_ios < 0:
+        raise ValueError("block counts must be non-negative")
+    side_logic = math.ceil(math.sqrt(max(num_luts, 1) / utilization))
+    side_io = math.ceil(num_ios / (4 * io_capacity))
+    side = max(side_logic, side_io, 2)
+    return FPGAArchitecture(
+        width=side,
+        height=side,
+        channel_width=channel_width,
+        lut_inputs=lut_inputs,
+        io_capacity=io_capacity,
+    )

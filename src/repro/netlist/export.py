@@ -1,0 +1,194 @@
+"""Netlist interchange: BLIF export of circuits and mapped networks.
+
+The original tool chain of the paper exchanges designs between Quartus, ABC,
+TCONMAP and TPaR as BLIF files.  This module provides the same interchange
+points for the reproduction: gate-level circuits and technology-mapped
+networks can be written as Berkeley Logic Interchange Format text, which
+makes it easy to inspect intermediate results or to feed them to external
+tools (ABC, VPR) for cross-checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .boolean import TruthTable
+from .circuit import Circuit, Op
+from ..techmap.mapping import MappedNetwork, NodeKind
+
+__all__ = ["circuit_to_blif", "mapped_network_to_blif"]
+
+
+_GATE_COVERS = {
+    Op.BUF: [("1", "1")],
+    Op.NOT: [("0", "1")],
+    Op.AND: None,   # handled generically
+    Op.OR: None,
+    Op.XOR: None,
+    Op.NAND: None,
+    Op.NOR: None,
+    Op.XNOR: None,
+    Op.MUX: [("0-0", "0"), ("0-1", "0")],  # placeholder, handled explicitly
+}
+
+
+def _signal_name(circuit: Circuit, nid: int) -> str:
+    name = circuit.names.get(nid)
+    if name:
+        return name.replace(" ", "_")
+    return f"n{nid}"
+
+
+def _gate_cover_lines(op: str, arity: int) -> List[str]:
+    """SOP cover of a gate in BLIF ``.names`` format (inputs then output)."""
+    lines: List[str] = []
+    if op == Op.BUF:
+        return ["1 1"]
+    if op == Op.NOT:
+        return ["0 1"]
+    if op in (Op.AND, Op.NAND):
+        row = "1" * arity
+        lines = [f"{row} 1"]
+        if op == Op.NAND:
+            lines = [f"{'1' * arity} 0"]
+            # BLIF expresses the ON-set; invert by listing rows with any zero.
+            lines = []
+            for i in range(arity):
+                lines.append("-" * i + "0" + "-" * (arity - i - 1) + " 1")
+        return lines
+    if op in (Op.OR, Op.NOR):
+        if op == Op.OR:
+            for i in range(arity):
+                lines.append("-" * i + "1" + "-" * (arity - i - 1) + " 1")
+        else:
+            lines.append("0" * arity + " 1")
+        return lines
+    if op in (Op.XOR, Op.XNOR):
+        want = 1 if op == Op.XOR else 0
+        for assignment in range(1 << arity):
+            bits = [(assignment >> k) & 1 for k in range(arity)]
+            if (sum(bits) & 1) == want:
+                lines.append("".join(str(b) for b in bits) + " 1")
+        return lines
+    if op == Op.MUX:
+        # fanins are (sel, d0, d1); output = d0 when sel = 0
+        return ["01- 1", "1-1 1"]
+    raise ValueError(f"cannot export op {op!r} to BLIF")
+
+
+def circuit_to_blif(circuit: Circuit, model_name: Optional[str] = None) -> str:
+    """Serialize a gate-level circuit as a BLIF model.
+
+    Parameter inputs are listed as ordinary ``.inputs`` (BLIF has no notion of
+    parameters) but carry a ``# --PARAM`` comment line, mirroring the VHDL
+    annotation convention of the paper.
+    """
+    lines: List[str] = [f".model {model_name or circuit.name}"]
+    inputs = [_signal_name(circuit, nid) for nid in circuit.input_ids()]
+    params = [_signal_name(circuit, nid) for nid in circuit.param_ids()]
+    outputs = list(circuit.outputs.keys())
+
+    if params:
+        lines.append("# --PARAM inputs: " + " ".join(params))
+    lines.append(".inputs " + " ".join(inputs + params) if (inputs or params) else ".inputs")
+    lines.append(".outputs " + " ".join(o.replace(" ", "_") for o in outputs))
+
+    for nid, op in enumerate(circuit.ops):
+        if op in Op.LEAVES:
+            if op == Op.CONST0:
+                lines.append(f".names {_signal_name(circuit, nid)}")
+            elif op == Op.CONST1:
+                lines.append(f".names {_signal_name(circuit, nid)}")
+                lines.append("1")
+            continue
+        fanin_names = [_signal_name(circuit, f) for f in circuit.fanins[nid]]
+        out_name = _signal_name(circuit, nid)
+        lines.append(".names " + " ".join(fanin_names + [out_name]))
+        lines.extend(_gate_cover_lines(op, len(fanin_names)))
+
+    # Alias primary outputs onto their driving signals.
+    for out_name, nid in circuit.outputs.items():
+        driver = _signal_name(circuit, nid)
+        safe_out = out_name.replace(" ", "_")
+        if driver != safe_out:
+            lines.append(f".names {driver} {safe_out}")
+            lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _truth_table_cover(tt: TruthTable) -> List[str]:
+    """ON-set cover rows of a truth table (one minterm per line)."""
+    rows: List[str] = []
+    for assignment in range(tt.num_rows):
+        if tt.value(assignment):
+            bits = "".join(str((assignment >> k) & 1) for k in range(tt.num_vars))
+            rows.append(f"{bits} 1" if tt.num_vars else "1")
+    if not rows and tt.num_vars == 0:
+        return []
+    return rows
+
+
+def mapped_network_to_blif(
+    network: MappedNetwork,
+    model_name: Optional[str] = None,
+    param_values: Optional[Dict[int, int]] = None,
+) -> str:
+    """Serialize a mapped network as a BLIF model of LUTs.
+
+    TLUTs and TCONs require concrete parameter values (their configuration is
+    not expressible in plain BLIF); supply ``param_values`` (source-circuit
+    parameter node id -> 0/1) to export one specialization.  Purely static
+    networks export without parameters.
+    """
+    tunable = any(n.kind in (NodeKind.TLUT, NodeKind.TCON) for n in network.nodes)
+    if tunable and param_values is None:
+        raise ValueError(
+            "network contains TLUTs/TCONs; parameter values are required to export "
+            "a specialization"
+        )
+    spec = network.specialize(dict(param_values or {}))
+
+    def name_of(nid: int) -> str:
+        node = network.nodes[nid]
+        return (node.name or f"m{nid}").replace(" ", "_")
+
+    lines = [f".model {model_name or network.source.name}_mapped"]
+    inputs = [name_of(n) for n in network.input_node_ids()]
+    inputs += [name_of(n) for n in network.param_node_ids()]
+    lines.append(".inputs " + " ".join(inputs) if inputs else ".inputs")
+    lines.append(".outputs " + " ".join(o.replace(" ", "_") for o in network.outputs))
+
+    for nid, node in enumerate(network.nodes):
+        out_name = name_of(nid)
+        if node.kind == NodeKind.CONST0:
+            lines.append(f".names {out_name}")
+        elif node.kind == NodeKind.CONST1:
+            lines.append(f".names {out_name}")
+            lines.append("1")
+        elif node.kind in (NodeKind.LUT, NodeKind.TLUT):
+            config = spec.lut_configs[nid]
+            fanins = [name_of(i) for i in node.inputs]
+            lines.append(".names " + " ".join(fanins + [out_name]))
+            lines.extend(_truth_table_cover(config))
+        elif node.kind == NodeKind.TCON:
+            kind, var = spec.tcon_routes[nid]
+            lines.append(f"# TCON {out_name}: routed to "
+                         f"{'constant ' + kind[-1] if kind != 'var' else name_of(node.inputs[var])}")
+            if kind == "const0":
+                lines.append(f".names {out_name}")
+            elif kind == "const1":
+                lines.append(f".names {out_name}")
+                lines.append("1")
+            else:
+                lines.append(f".names {name_of(node.inputs[var])} {out_name}")
+                lines.append("1 1")
+
+    for out_name, nid in network.outputs.items():
+        driver = name_of(nid)
+        safe_out = out_name.replace(" ", "_")
+        if driver != safe_out:
+            lines.append(f".names {driver} {safe_out}")
+            lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

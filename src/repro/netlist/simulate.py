@@ -1,0 +1,216 @@
+"""Bit-parallel functional simulation of gate-level circuits.
+
+Simulation serves three purposes in the reproduction:
+
+* golden-model checking of the structural HDL generators (FP adder,
+  multiplier, MAC) against word-level arithmetic,
+* equivalence checking between a circuit and its optimized / specialized /
+  technology-mapped versions, and
+* random-pattern validation of the TLUT/TCON specialization step of the DCS
+  flow.
+
+Patterns are packed into Python integers (one bit per pattern), so a single
+pass over the netlist evaluates an arbitrary number of input patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit, Op
+from .library import eval_gate
+
+__all__ = [
+    "simulate_patterns",
+    "simulate_words",
+    "simulate_single",
+    "random_patterns",
+    "exhaustive_patterns",
+]
+
+
+def _pattern_mask(num_patterns: int) -> int:
+    return (1 << num_patterns) - 1
+
+
+def simulate_patterns(
+    circuit: Circuit,
+    input_patterns: Mapping[int, int],
+    num_patterns: int,
+    param_patterns: Optional[Mapping[int, int]] = None,
+) -> Dict[int, int]:
+    """Simulate the circuit on packed pattern vectors.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    input_patterns:
+        Mapping from *input node id* to a packed vector of ``num_patterns``
+        bits (bit ``p`` is the value of that input in pattern ``p``).
+    num_patterns:
+        Number of packed patterns.
+    param_patterns:
+        Values for parameter nodes, same packing.  Parameters left
+        unspecified default to 0 (matching the behaviour of an unprogrammed
+        settings register).
+
+    Returns
+    -------
+    dict
+        Mapping from node id to packed output vector for every node.
+    """
+    mask = _pattern_mask(num_patterns)
+    values: List[int] = [0] * len(circuit.ops)
+    params = dict(param_patterns or {})
+    for nid, op in enumerate(circuit.ops):
+        if op == Op.INPUT:
+            values[nid] = input_patterns.get(nid, 0) & mask
+        elif op == Op.PARAM:
+            values[nid] = params.get(nid, 0) & mask
+        elif op == Op.CONST0:
+            values[nid] = 0
+        elif op == Op.CONST1:
+            values[nid] = mask
+        else:
+            args = [values[f] for f in circuit.fanins[nid]]
+            values[nid] = eval_gate(op, args, mask)
+    return {nid: values[nid] for nid in circuit.node_ids()}
+
+
+def simulate_single(
+    circuit: Circuit,
+    input_values: Mapping[str, int],
+    param_values: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Simulate one pattern given per-name scalar 0/1 input values.
+
+    Unknown names raise ``KeyError``; unspecified inputs default to 0.
+    Returns output name -> 0/1 value.
+    """
+    name_to_id = {circuit.names.get(i, f"in{i}"): i for i in circuit.input_ids()}
+    pname_to_id = {circuit.names.get(i, f"param{i}"): i for i in circuit.param_ids()}
+    in_pat: Dict[int, int] = {}
+    for name, val in input_values.items():
+        in_pat[name_to_id[name]] = 1 if val else 0
+    par_pat: Dict[int, int] = {}
+    for name, val in (param_values or {}).items():
+        par_pat[pname_to_id[name]] = 1 if val else 0
+    values = simulate_patterns(circuit, in_pat, 1, par_pat)
+    return {name: values[nid] & 1 for name, nid in circuit.outputs.items()}
+
+
+def _bus_nodes(circuit: Circuit, prefix: str, kind: str) -> List[int]:
+    """Node ids of a named bus ``prefix[0..n-1]``, LSB first."""
+    if kind == "input":
+        ids = circuit.input_ids()
+    elif kind == "param":
+        ids = circuit.param_ids()
+    else:
+        raise ValueError("kind must be 'input' or 'param'")
+    found = {}
+    for nid in ids:
+        name = circuit.names.get(nid, "")
+        if name.startswith(prefix + "[") and name.endswith("]"):
+            idx = int(name[len(prefix) + 1 : -1])
+            found[idx] = nid
+        elif name == prefix:
+            found[0] = nid
+    return [found[i] for i in sorted(found)]
+
+
+def simulate_words(
+    circuit: Circuit,
+    input_words: Mapping[str, Sequence[int]],
+    param_words: Optional[Mapping[str, int]] = None,
+) -> Dict[str, np.ndarray]:
+    """Simulate word-level stimulus on a circuit built with bus-named ports.
+
+    ``input_words`` maps a bus name (e.g. ``"a"``) to a sequence of unsigned
+    integer words, one per pattern; bit ``k`` of a word drives input node
+    ``a[k]``.  ``param_words`` maps a parameter bus name to a *single* word
+    (parameters are constant across all patterns, exactly as in the DCS
+    model).  Output buses are reassembled into unsigned integer words.
+    """
+    words = {name: list(vals) for name, vals in input_words.items()}
+    num_patterns = max((len(v) for v in words.values()), default=1)
+    mask = _pattern_mask(num_patterns)
+
+    in_pat: Dict[int, int] = {}
+    for name, vals in words.items():
+        nodes = _bus_nodes(circuit, name, "input")
+        if not nodes:
+            raise KeyError(f"no input bus named {name!r}")
+        for bit, nid in enumerate(nodes):
+            packed = 0
+            for p, word in enumerate(vals):
+                if (word >> bit) & 1:
+                    packed |= 1 << p
+            in_pat[nid] = packed
+
+    par_pat: Dict[int, int] = {}
+    for name, word in (param_words or {}).items():
+        nodes = _bus_nodes(circuit, name, "param")
+        if not nodes:
+            raise KeyError(f"no parameter bus named {name!r}")
+        for bit, nid in enumerate(nodes):
+            par_pat[nid] = mask if (word >> bit) & 1 else 0
+
+    values = simulate_patterns(circuit, in_pat, num_patterns, par_pat)
+
+    # Group outputs into buses by name prefix.
+    out_buses: Dict[str, Dict[int, int]] = {}
+    for name, nid in circuit.outputs.items():
+        if "[" in name and name.endswith("]"):
+            prefix, idx = name[: name.index("[")], int(name[name.index("[") + 1 : -1])
+        else:
+            prefix, idx = name, 0
+        out_buses.setdefault(prefix, {})[idx] = nid
+
+    result: Dict[str, np.ndarray] = {}
+    for prefix, bits in out_buses.items():
+        arr = np.zeros(num_patterns, dtype=object)
+        for idx, nid in bits.items():
+            packed = values[nid]
+            for p in range(num_patterns):
+                if (packed >> p) & 1:
+                    arr[p] = int(arr[p]) | (1 << idx)
+        result[prefix] = arr
+    return result
+
+
+def random_patterns(
+    circuit: Circuit, num_patterns: int, rng: Optional[np.random.Generator] = None
+) -> Dict[int, int]:
+    """Generate packed random input patterns for every regular input."""
+    rng = rng or np.random.default_rng(0)
+    pats: Dict[int, int] = {}
+    for nid in circuit.input_ids():
+        bits = rng.integers(0, 2, size=num_patterns)
+        packed = 0
+        for p, b in enumerate(bits):
+            if b:
+                packed |= 1 << p
+        pats[nid] = packed
+    return pats
+
+
+def exhaustive_patterns(input_ids: Sequence[int]) -> Dict[int, int]:
+    """Packed patterns enumerating every assignment of the given inputs.
+
+    With ``n`` inputs the returned vectors are ``2**n`` patterns long and
+    pattern ``p`` assigns input ``i`` the ``i``-th bit of ``p``.  Only
+    sensible for small ``n`` (equivalence checking of specialized cones).
+    """
+    n = len(input_ids)
+    num_patterns = 1 << n
+    pats: Dict[int, int] = {}
+    for i, nid in enumerate(input_ids):
+        packed = 0
+        for p in range(num_patterns):
+            if (p >> i) & 1:
+                packed |= 1 << p
+        pats[nid] = packed
+    return pats

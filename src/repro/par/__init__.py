@@ -1,0 +1,30 @@
+"""TPaR-style physical CAD: placement (TPLACE), routing (TROUTE), metrics, timing."""
+
+from .flow import PaRResult, place_and_route
+from .metrics import MinChannelWidthResult, channel_occupancy, minimum_channel_width
+from .netlist import Block, Net, PhysicalNetlist, from_mapped_network
+from .placement import Placement, PlacementResult, hpwl, place, random_placement
+from .routing import NetRoute, RoutingResult, route
+from .timing import TimingReport, analyze_timing
+
+__all__ = [
+    "PaRResult",
+    "place_and_route",
+    "MinChannelWidthResult",
+    "channel_occupancy",
+    "minimum_channel_width",
+    "Block",
+    "Net",
+    "PhysicalNetlist",
+    "from_mapped_network",
+    "Placement",
+    "PlacementResult",
+    "hpwl",
+    "place",
+    "random_placement",
+    "NetRoute",
+    "RoutingResult",
+    "route",
+    "TimingReport",
+    "analyze_timing",
+]

@@ -1,0 +1,117 @@
+"""TPaR flow driver: placement + routing + metrics for a mapped network.
+
+This is the physical half of the paper's evaluation: given a technology
+mapped Processing Element (conventional or fully parameterized), it sizes an
+FPGA, places the blocks, routes the nets and reports the quantities of
+Table I (wirelength, channel width, logic depth) plus timing estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..fpga.architecture import FPGAArchitecture, auto_size
+from ..fpga.device import Device, build_device
+from ..techmap.mapping import MappedNetwork
+from .metrics import MinChannelWidthResult, channel_occupancy, minimum_channel_width
+from .netlist import PhysicalNetlist, from_mapped_network
+from .placement import PlacementResult, place
+from .routing import RoutingResult, route
+from .timing import TimingReport, analyze_timing
+
+__all__ = ["PaRResult", "place_and_route"]
+
+
+@dataclass
+class PaRResult:
+    """Complete place-and-route outcome for one mapped network."""
+
+    network: MappedNetwork
+    netlist: PhysicalNetlist
+    device: Device
+    placement: PlacementResult
+    routing: RoutingResult
+    timing: TimingReport
+    min_channel_width: Optional[MinChannelWidthResult] = None
+
+    @property
+    def wirelength(self) -> int:
+        return self.routing.wirelength
+
+    @property
+    def logic_depth(self) -> int:
+        return self.timing.logic_depth
+
+    def summary(self) -> Dict[str, float]:
+        """Key metrics as a flat dict (used by the Table I benchmark)."""
+        out = {
+            "luts": self.network.num_luts(),
+            "tluts": self.network.num_tluts(),
+            "tcons": self.network.num_tcons(),
+            "logic_depth": self.logic_depth,
+            "wirelength": self.wirelength,
+            "channel_width": self.device.arch.channel_width,
+            "critical_path_ns": self.timing.critical_path_ns,
+            "placement_hpwl": self.placement.cost,
+            "array_side": self.device.arch.width,
+            "routed": self.routing.success,
+        }
+        if self.min_channel_width is not None:
+            out["min_channel_width"] = self.min_channel_width.min_channel_width
+        return out
+
+
+def place_and_route(
+    network: MappedNetwork,
+    arch: Optional[FPGAArchitecture] = None,
+    channel_width: int = 10,
+    placement_effort: float = 1.0,
+    router_iterations: int = 25,
+    find_min_channel_width: bool = False,
+    min_cw_bounds: tuple = (2, 32),
+    seed: int = 0,
+) -> PaRResult:
+    """Run the full TPaR flow (TPLACE + TROUTE) on a mapped network.
+
+    Parameters
+    ----------
+    network:
+        Output of :func:`~repro.techmap.map_conventional` or
+        :func:`~repro.techmap.map_parameterized`.
+    arch:
+        Target architecture.  When omitted the array is auto-sized for the
+        design at the requested ``channel_width`` (the paper's experiments use
+        the VPR auto-sizing with W = 10).
+    placement_effort:
+        Scales annealing effort; lower is faster but noisier.
+    find_min_channel_width:
+        Additionally run the binary search for the minimum channel width
+        (Table I's CW column).  This re-routes the design several times.
+    """
+    netlist = from_mapped_network(network)
+    num_logic = netlist.num_logic_blocks() + netlist.num_ff_blocks()
+    num_ios = netlist.num_io_blocks()
+    if arch is None:
+        arch = auto_size(num_logic, num_ios, channel_width=channel_width)
+    device = build_device(arch)
+
+    placement = place(netlist, arch, seed=seed, effort=placement_effort)
+    routing = route(netlist, placement.placement, device, max_iterations=router_iterations)
+    timing = analyze_timing(network, netlist, routing, device)
+
+    min_cw = None
+    if find_min_channel_width:
+        min_cw = minimum_channel_width(
+            netlist, placement.placement, arch, low=min_cw_bounds[0], high=min_cw_bounds[1]
+        )
+
+    return PaRResult(
+        network=network,
+        netlist=netlist,
+        device=device,
+        placement=placement,
+        routing=routing,
+        timing=timing,
+        min_channel_width=min_cw,
+    )

@@ -1,0 +1,114 @@
+"""Post-PaR metrics: wirelength, channel width, minimum-channel-width search.
+
+These are the quantities of the paper's Table I PaR columns: total wirelength
+(WL) of the routed design and the minimum channel width (CW) at which the
+design still routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..fpga.architecture import FPGAArchitecture
+from ..fpga.device import Device, build_device
+from ..fpga.routing_graph import RRNodeType
+from .netlist import PhysicalNetlist
+from .placement import Placement, PlacementResult, place
+from .routing import RoutingResult, route
+
+__all__ = [
+    "channel_occupancy",
+    "minimum_channel_width",
+    "MinChannelWidthResult",
+]
+
+
+def channel_occupancy(result: RoutingResult, device: Device) -> Dict[str, int]:
+    """Peak and mean occupancy of the routing channels after routing."""
+    rr = device.rr_graph
+    occ = np.zeros(rr.num_nodes, dtype=np.int64)
+    for net_route in result.routes.values():
+        for n in net_route.nodes:
+            occ[n] += 1
+    wire_mask = (rr.node_type == RRNodeType.CHANX) | (rr.node_type == RRNodeType.CHANY)
+    wires = occ[wire_mask]
+    return {
+        "peak": int(wires.max()) if wires.size else 0,
+        "used": int(np.count_nonzero(wires)),
+        "total": int(wires.size),
+    }
+
+
+@dataclass
+class MinChannelWidthResult:
+    """Outcome of the minimum-channel-width binary search."""
+
+    min_channel_width: int
+    attempts: Dict[int, bool]
+    wirelength_at_min: int
+
+    def describe(self) -> str:
+        tried = ", ".join(f"W={w}:{'ok' if ok else 'fail'}" for w, ok in sorted(self.attempts.items()))
+        return f"min CW = {self.min_channel_width} ({tried})"
+
+
+def minimum_channel_width(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    base_arch: FPGAArchitecture,
+    low: int = 2,
+    high: int = 32,
+    max_router_iterations: int = 12,
+) -> MinChannelWidthResult:
+    """Binary-search the smallest channel width at which the placed design routes.
+
+    The placement is kept fixed across channel widths (the paper's comparison
+    holds the architecture constant apart from W), which is also how VPR's
+    binary search operates.
+    """
+    attempts: Dict[int, bool] = {}
+    wl_at: Dict[int, int] = {}
+
+    def try_width(width: int) -> bool:
+        if width in attempts:
+            return attempts[width]
+        device = build_device(base_arch.with_channel_width(width))
+        try:
+            result = route(
+                netlist, placement, device, max_iterations=max_router_iterations
+            )
+            ok = result.success
+            if ok:
+                wl_at[width] = result.wirelength
+        except RuntimeError:
+            ok = False
+        attempts[width] = ok
+        return ok
+
+    # Ensure the upper bound routes; widen if necessary.
+    hi = high
+    while not try_width(hi):
+        hi *= 2
+        if hi > 512:
+            raise RuntimeError("design does not route even with an extremely wide channel")
+    lo = low
+    if try_width(lo):
+        best = lo
+    else:
+        best = hi
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if try_width(mid):
+                hi = mid
+                best = mid
+            else:
+                lo = mid
+        best = hi
+    return MinChannelWidthResult(
+        min_channel_width=best,
+        attempts=attempts,
+        wirelength_at_min=wl_at.get(best, 0),
+    )

@@ -1,0 +1,251 @@
+"""TPLACE: simulated-annealing placement.
+
+Re-implementation of the VPR/TPaR placement step: blocks of the physical
+netlist are assigned to compatible sites of the island FPGA and iteratively
+improved by simulated annealing on the half-perimeter wirelength (HPWL) of
+all nets, with the adaptive temperature schedule and range limiting of VPR.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fpga.architecture import FPGAArchitecture, Site
+from .netlist import PhysicalNetlist
+
+__all__ = ["Placement", "PlacementResult", "place", "random_placement", "hpwl"]
+
+
+@dataclass
+class Placement:
+    """Assignment of netlist blocks to FPGA sites."""
+
+    block_site: Dict[int, Site] = field(default_factory=dict)
+
+    def site_of(self, block: int) -> Site:
+        return self.block_site[block]
+
+    def location_of(self, block: int) -> Tuple[int, int]:
+        s = self.block_site[block]
+        return (s.x, s.y)
+
+    def clone(self) -> "Placement":
+        return Placement(dict(self.block_site))
+
+
+@dataclass
+class PlacementResult:
+    """Placement plus quality metrics."""
+
+    placement: Placement
+    cost: float                 #: final total HPWL
+    initial_cost: float
+    moves_attempted: int
+    moves_accepted: int
+    temperature_steps: int
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.cost / self.initial_cost
+
+
+def _net_hpwl(xs: List[int], ys: List[int]) -> float:
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def hpwl(netlist: PhysicalNetlist, placement: Placement) -> float:
+    """Total half-perimeter wirelength of all nets under a placement."""
+    total = 0.0
+    for net in netlist.nets:
+        blocks = [net.driver] + net.sinks
+        xs = [placement.block_site[b].x for b in blocks]
+        ys = [placement.block_site[b].y for b in blocks]
+        total += _net_hpwl(xs, ys)
+    return total
+
+
+def random_placement(
+    netlist: PhysicalNetlist, arch: FPGAArchitecture, seed: int = 0
+) -> Placement:
+    """Random feasible initial placement (logic blocks on CLB sites, IOs on pads)."""
+    rng = random.Random(seed)
+    logic_sites = list(arch.clb_sites())
+    io_sites = list(arch.io_sites())
+    rng.shuffle(logic_sites)
+    rng.shuffle(io_sites)
+
+    logic_blocks = [b for b in netlist.blocks if b.needs_logic_site]
+    io_blocks = [b for b in netlist.blocks if b.kind == "io"]
+    if len(logic_blocks) > len(logic_sites):
+        raise ValueError(
+            f"design needs {len(logic_blocks)} logic sites but the device has "
+            f"only {len(logic_sites)}"
+        )
+    if len(io_blocks) > len(io_sites):
+        raise ValueError(
+            f"design needs {len(io_blocks)} IO sites but the device has only {len(io_sites)}"
+        )
+    placement = Placement()
+    for block, site in zip(logic_blocks, logic_sites):
+        placement.block_site[block.id] = site
+    for block, site in zip(io_blocks, io_sites):
+        placement.block_site[block.id] = site
+    return placement
+
+
+class _AnnealingState:
+    """Book-keeping for incremental HPWL evaluation during annealing."""
+
+    def __init__(self, netlist: PhysicalNetlist, placement: Placement) -> None:
+        self.netlist = netlist
+        self.placement = placement
+        self.nets_of_block: Dict[int, List[int]] = {b.id: [] for b in netlist.blocks}
+        for net in netlist.nets:
+            for b in {net.driver, *net.sinks}:
+                self.nets_of_block[b].append(net.id)
+        self.net_cost: List[float] = [0.0] * len(netlist.nets)
+        for net in netlist.nets:
+            self.net_cost[net.id] = self._compute_net_cost(net.id)
+        self.total_cost = sum(self.net_cost)
+
+    def _compute_net_cost(self, net_id: int) -> float:
+        net = self.netlist.nets[net_id]
+        blocks = [net.driver] + net.sinks
+        xs = [self.placement.block_site[b].x for b in blocks]
+        ys = [self.placement.block_site[b].y for b in blocks]
+        return _net_hpwl(xs, ys)
+
+    def delta_for_nets(self, net_ids: List[int]) -> Tuple[float, Dict[int, float]]:
+        new_costs = {nid: self._compute_net_cost(nid) for nid in net_ids}
+        delta = sum(new_costs[nid] - self.net_cost[nid] for nid in net_ids)
+        return delta, new_costs
+
+    def commit(self, new_costs: Dict[int, float]) -> None:
+        for nid, cost in new_costs.items():
+            self.total_cost += cost - self.net_cost[nid]
+            self.net_cost[nid] = cost
+
+
+def place(
+    netlist: PhysicalNetlist,
+    arch: FPGAArchitecture,
+    seed: int = 0,
+    effort: float = 1.0,
+    inner_num: float = 1.0,
+) -> PlacementResult:
+    """Simulated-annealing placement (TPLACE).
+
+    ``effort`` scales the number of moves per temperature; values below 1
+    trade quality for runtime (used by the fast benchmark configurations).
+    """
+    rng = random.Random(seed)
+    placement = random_placement(netlist, arch, seed=seed)
+    state = _AnnealingState(netlist, placement)
+    initial_cost = state.total_cost
+
+    logic_blocks = [b.id for b in netlist.blocks if b.needs_logic_site]
+    io_blocks = [b.id for b in netlist.blocks if b.kind == "io"]
+    logic_sites = list(arch.clb_sites())
+    io_sites = list(arch.io_sites())
+
+    site_occupant: Dict[Tuple, Optional[int]] = {}
+    for s in logic_sites + io_sites:
+        site_occupant[s.as_tuple()] = None
+    for bid, site in placement.block_site.items():
+        site_occupant[site.as_tuple()] = bid
+
+    movable_groups = []
+    if logic_blocks:
+        movable_groups.append(("logic", logic_blocks, logic_sites))
+    if io_blocks:
+        movable_groups.append(("io", io_blocks, io_sites))
+    if not movable_groups:
+        return PlacementResult(placement, 0.0, 0.0, 0, 0, 0)
+
+    num_blocks = len(logic_blocks) + len(io_blocks)
+    moves_per_temp = max(10, int(effort * inner_num * 10 * (num_blocks ** (4.0 / 3.0)) / 10))
+    # Initial temperature: scale of typical cost deltas.
+    temperature = max(1.0, 0.05 * initial_cost / max(1, len(netlist.nets)) * 20)
+    range_limit = float(max(arch.width, arch.height))
+
+    moves_attempted = 0
+    moves_accepted = 0
+    temperature_steps = 0
+
+    def pick_move():
+        group = movable_groups[rng.randrange(len(movable_groups))]
+        _, blocks, sites = group
+        block = blocks[rng.randrange(len(blocks))]
+        cur = placement.block_site[block]
+        for _ in range(8):
+            target = sites[rng.randrange(len(sites))]
+            if target.kind != cur.kind:
+                continue
+            if abs(target.x - cur.x) + abs(target.y - cur.y) > range_limit * 2:
+                continue
+            if target.as_tuple() != cur.as_tuple():
+                return block, cur, target
+        return None
+
+    while temperature_steps < 200:
+        accepted_this_temp = 0
+        for _ in range(moves_per_temp):
+            move = pick_move()
+            if move is None:
+                continue
+            block, cur, target = move
+            moves_attempted += 1
+            occupant = site_occupant[target.as_tuple()]
+
+            affected = set(state.nets_of_block[block])
+            if occupant is not None:
+                affected.update(state.nets_of_block[occupant])
+
+            # tentatively apply
+            placement.block_site[block] = target
+            if occupant is not None:
+                placement.block_site[occupant] = cur
+            delta, new_costs = state.delta_for_nets(list(affected))
+
+            accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9))
+            if accept:
+                state.commit(new_costs)
+                site_occupant[target.as_tuple()] = block
+                site_occupant[cur.as_tuple()] = occupant
+                moves_accepted += 1
+                accepted_this_temp += 1
+            else:
+                placement.block_site[block] = cur
+                if occupant is not None:
+                    placement.block_site[occupant] = target
+
+        temperature_steps += 1
+        acceptance = accepted_this_temp / max(1, moves_per_temp)
+        # VPR-style adaptive cooling.
+        if acceptance > 0.96:
+            temperature *= 0.5
+        elif acceptance > 0.8:
+            temperature *= 0.9
+        elif acceptance > 0.15:
+            temperature *= 0.95
+        else:
+            temperature *= 0.8
+        range_limit = max(1.0, range_limit * (1.0 - 0.44 + acceptance))
+        if temperature < 0.005 * state.total_cost / max(1, len(netlist.nets)) or (
+            acceptance < 0.01 and temperature_steps > 5
+        ):
+            break
+
+    return PlacementResult(
+        placement=placement,
+        cost=state.total_cost,
+        initial_cost=initial_cost,
+        moves_attempted=moves_attempted,
+        moves_accepted=moves_accepted,
+        temperature_steps=temperature_steps,
+    )

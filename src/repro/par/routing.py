@@ -1,0 +1,241 @@
+"""TROUTE: PathFinder negotiated-congestion routing.
+
+Re-implementation of the VPR/TPaR router: every net is routed over the
+routing-resource graph with an A*-guided Dijkstra search; congestion is
+resolved by iteratively re-routing nets through overused nodes while the
+present-congestion penalty grows and a history cost accumulates (PathFinder).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..fpga.device import Device
+from ..fpga.routing_graph import RRGraph, RRNodeType
+from .netlist import PhysicalNetlist
+from .placement import Placement
+
+__all__ = ["RoutingResult", "route", "NetRoute"]
+
+
+@dataclass
+class NetRoute:
+    """Route tree of one net: all RR nodes used (including pins and wires)."""
+
+    net_id: int
+    nodes: List[int] = field(default_factory=list)
+
+    def wire_nodes(self, rr: RRGraph) -> List[int]:
+        return [n for n in self.nodes if rr.is_wire(n)]
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of the routing step."""
+
+    routes: Dict[int, NetRoute]
+    success: bool
+    iterations: int
+    wirelength: int
+    overused_nodes: int
+    max_channel_occupancy: int
+
+    def describe(self) -> str:
+        status = "routable" if self.success else "CONGESTED"
+        return (
+            f"{status} after {self.iterations} iteration(s); "
+            f"wirelength={self.wirelength}, peak channel occupancy="
+            f"{self.max_channel_occupancy}, overused nodes={self.overused_nodes}"
+        )
+
+
+_BASE_COST = {
+    RRNodeType.SOURCE: 0.1,
+    RRNodeType.SINK: 0.1,
+    RRNodeType.OPIN: 0.9,
+    RRNodeType.IPIN: 0.9,
+    RRNodeType.CHANX: 1.0,
+    RRNodeType.CHANY: 1.0,
+}
+
+
+def _terminal_nodes(
+    netlist: PhysicalNetlist, placement: Placement, rr: RRGraph
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Map each block to its SOURCE and SINK RR nodes."""
+    src_of: Dict[int, int] = {}
+    sink_of: Dict[int, int] = {}
+    for block in netlist.blocks:
+        site = placement.block_site.get(block.id)
+        if site is None:
+            continue
+        if block.needs_logic_site:
+            src_of[block.id] = rr.clb_source[(site.x, site.y)]
+            sink_of[block.id] = rr.clb_sink[(site.x, site.y)]
+        else:
+            src_of[block.id] = rr.io_source[(site.x, site.y, site.subtile)]
+            sink_of[block.id] = rr.io_sink[(site.x, site.y, site.subtile)]
+    return src_of, sink_of
+
+
+def route(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    device: Device,
+    max_iterations: int = 25,
+    pres_fac_init: float = 0.6,
+    pres_fac_mult: float = 1.8,
+    hist_fac: float = 0.4,
+    astar_fac: float = 1.1,
+) -> RoutingResult:
+    """Route all nets of a placed netlist on the device's RR graph."""
+    rr = device.rr_graph
+    num_nodes = rr.num_nodes
+
+    base_cost = np.empty(num_nodes, dtype=np.float64)
+    for t, c in _BASE_COST.items():
+        base_cost[rr.node_type == t] = c
+
+    capacity = rr.node_capacity.astype(np.int32)
+    occupancy = np.zeros(num_nodes, dtype=np.int32)
+    history = np.zeros(num_nodes, dtype=np.float64)
+
+    node_x = rr.node_x.astype(np.int32)
+    node_y = rr.node_y.astype(np.int32)
+    edge_ptr = rr.edge_ptr
+    edge_dst = rr.edge_dst
+
+    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+
+    routes: Dict[int, NetRoute] = {}
+    # Per-net terminal list: (source node, [sink nodes])
+    net_terms: Dict[int, Tuple[int, List[int]]] = {}
+    for net in netlist.nets:
+        source = src_of[net.driver]
+        sinks = [sink_of[s] for s in net.sinks]
+        net_terms[net.id] = (source, sinks)
+
+    # Search bookkeeping with generation stamps (avoids clearing big arrays).
+    visited_gen = np.zeros(num_nodes, dtype=np.int64)
+    cost_so_far = np.zeros(num_nodes, dtype=np.float64)
+    prev_node = np.full(num_nodes, -1, dtype=np.int64)
+    generation = 0
+
+    def node_cost(n: int, pres_fac: float) -> float:
+        over = occupancy[n] + 1 - capacity[n]
+        pres = 1.0 + pres_fac * over if over > 0 else 1.0
+        return (base_cost[n] + history[n]) * pres
+
+    def route_net(net_id: int, pres_fac: float) -> NetRoute:
+        nonlocal generation
+        source, sinks = net_terms[net_id]
+        tree: List[int] = [source]
+        tree_set: Set[int] = {source}
+        # Route sinks farthest-first (VPR heuristic).
+        sx, sy = int(node_x[source]), int(node_y[source])
+        order = sorted(
+            sinks,
+            key=lambda t: -(abs(int(node_x[t]) - sx) + abs(int(node_y[t]) - sy)),
+        )
+        for target in order:
+            if target in tree_set:
+                occupancy[target] += 1
+                continue
+            generation += 1
+            gen = generation
+            tx, ty = int(node_x[target]), int(node_y[target])
+            heap: List[Tuple[float, float, int]] = []
+            for n in tree:
+                h = (abs(int(node_x[n]) - tx) + abs(int(node_y[n]) - ty)) * astar_fac
+                visited_gen[n] = gen
+                cost_so_far[n] = 0.0
+                prev_node[n] = -1
+                heapq.heappush(heap, (h, 0.0, n))
+            found = False
+            while heap:
+                _, g, n = heapq.heappop(heap)
+                if g > cost_so_far[n] + 1e-12:
+                    continue  # stale heap entry
+                if n == target:
+                    found = True
+                    break
+                for m in edge_dst[edge_ptr[n] : edge_ptr[n + 1]]:
+                    m = int(m)
+                    ntype = rr.node_type[m]
+                    if ntype == RRNodeType.SINK and m != target:
+                        continue
+                    new_cost = g + node_cost(m, pres_fac)
+                    if visited_gen[m] != gen or new_cost < cost_so_far[m] - 1e-12:
+                        visited_gen[m] = gen
+                        cost_so_far[m] = new_cost
+                        prev_node[m] = n
+                        h = (abs(int(node_x[m]) - tx) + abs(int(node_y[m]) - ty)) * astar_fac
+                        heapq.heappush(heap, (new_cost + h, new_cost, m))
+            if not found:
+                raise RuntimeError(
+                    f"net {net_id} could not reach its sink; the device is too small "
+                    "or the channel width is insufficient even with congestion allowed"
+                )
+            # Backtrace and merge the new path into the route tree.
+            path = []
+            n = target
+            while n != -1 and n not in tree_set:
+                path.append(n)
+                n = int(prev_node[n])
+            for n in path:
+                tree_set.add(n)
+                tree.append(n)
+                occupancy[n] += 1
+        return NetRoute(net_id, tree)
+
+    def rip_up(net_route: NetRoute) -> None:
+        for n in net_route.nodes:
+            if n != net_terms[net_route.net_id][0]:
+                occupancy[n] -= 1
+
+    pres_fac = pres_fac_init
+    iteration = 0
+    success = False
+    net_ids = [net.id for net in netlist.nets]
+
+    for iteration in range(1, max_iterations + 1):
+        if iteration == 1:
+            targets = net_ids
+        else:
+            # Re-route only nets that currently use overused nodes.
+            over = occupancy > capacity
+            targets = [
+                nid
+                for nid in net_ids
+                if any(over[n] for n in routes[nid].nodes)
+            ]
+        for nid in targets:
+            if nid in routes:
+                rip_up(routes[nid])
+            routes[nid] = route_net(nid, pres_fac)
+
+        over_nodes = int(np.count_nonzero(occupancy > capacity))
+        if over_nodes == 0:
+            success = True
+            break
+        history += hist_fac * np.maximum(occupancy - capacity, 0)
+        pres_fac *= pres_fac_mult
+
+    wire_mask = (rr.node_type == RRNodeType.CHANX) | (rr.node_type == RRNodeType.CHANY)
+    wirelength = 0
+    for r in routes.values():
+        wirelength += sum(1 for n in r.nodes if wire_mask[n])
+    max_chan_occ = int(occupancy[wire_mask].max()) if wire_mask.any() else 0
+
+    return RoutingResult(
+        routes=routes,
+        success=success,
+        iterations=iteration,
+        wirelength=wirelength,
+        overused_nodes=int(np.count_nonzero(occupancy > capacity)),
+        max_channel_occupancy=max_chan_occ,
+    )

@@ -1,0 +1,106 @@
+"""Post-PaR timing analysis.
+
+A simple static timing analysis over the mapped network using the
+architecture's LUT and wire-segment delays plus the actual routed wire counts
+per connection.  The paper reports logic-depth levels rather than nanosecond
+delays; both are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..fpga.device import Device
+from ..techmap.mapping import MappedNetwork, NodeKind
+from .netlist import PhysicalNetlist
+from .routing import RoutingResult
+
+__all__ = ["TimingReport", "analyze_timing"]
+
+
+@dataclass
+class TimingReport:
+    """Critical-path summary."""
+
+    logic_depth: int               #: LUT levels on the longest path
+    critical_path_ns: float        #: estimated delay using LUT + routed wire delays
+    mean_net_wirelength: float     #: average wires per routed net
+    max_net_wirelength: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "logic_depth": self.logic_depth,
+            "critical_path_ns": self.critical_path_ns,
+            "mean_net_wirelength": self.mean_net_wirelength,
+            "max_net_wirelength": self.max_net_wirelength,
+        }
+
+
+def analyze_timing(
+    network: MappedNetwork,
+    netlist: PhysicalNetlist,
+    routing: Optional[RoutingResult],
+    device: Device,
+) -> TimingReport:
+    """Estimate the critical path of a placed-and-routed mapped network."""
+    arch = device.arch
+    rr = device.rr_graph
+
+    # Wire count per net (0 when unrouted / no routing supplied).
+    net_wires: Dict[int, int] = {}
+    if routing is not None:
+        for nid, net_route in routing.routes.items():
+            net_wires[nid] = len(net_route.wire_nodes(rr))
+
+    # Map every mapped node to the net its output drives (by driver block).
+    node_to_block = {b.mapped_node: b.id for b in netlist.blocks if b.mapped_node is not None}
+    driver_net: Dict[int, int] = {}
+    for net in netlist.nets:
+        driver_net[net.driver] = net.id
+
+    def wire_delay_of(mapped_node: int) -> float:
+        block = node_to_block.get(mapped_node)
+        if block is None:
+            return 0.0
+        nid = driver_net.get(block)
+        if nid is None:
+            return 0.0
+        wires = net_wires.get(nid)
+        if wires is None:
+            return arch.wire_delay_ns  # unrouted estimate: one segment
+        # Approximate per-sink delay by the average segment count per sink.
+        sinks = max(1, len(netlist.nets[nid].sinks))
+        return arch.wire_delay_ns * (wires / sinks)
+
+    arrival: List[float] = [0.0] * len(network.nodes)
+    level: List[int] = [0] * len(network.nodes)
+    for nid, node in enumerate(network.nodes):
+        if node.kind in (NodeKind.LUT, NodeKind.TLUT):
+            incoming = max(
+                (arrival[i] + wire_delay_of(i) for i in node.inputs), default=0.0
+            )
+            arrival[nid] = incoming + arch.lut_delay_ns
+            level[nid] = 1 + max((level[i] for i in node.inputs), default=0)
+        elif node.kind == NodeKind.TCON:
+            arrival[nid] = max(
+                (arrival[i] + wire_delay_of(i) for i in node.inputs), default=0.0
+            )
+            level[nid] = max((level[i] for i in node.inputs), default=0)
+
+    if network.outputs:
+        crit = max(arrival[n] + wire_delay_of(n) for n in network.outputs.values())
+        depth = max(level[n] for n in network.outputs.values())
+    else:
+        crit, depth = 0.0, 0
+
+    wires_list = list(net_wires.values())
+    mean_wl = sum(wires_list) / len(wires_list) if wires_list else 0.0
+    max_wl = max(wires_list) if wires_list else 0
+
+    return TimingReport(
+        logic_depth=depth,
+        critical_path_ns=crit,
+        mean_net_wirelength=mean_wl,
+        max_net_wirelength=max_wl,
+    )

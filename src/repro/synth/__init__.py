@@ -1,0 +1,24 @@
+"""Logic synthesis and parameter-aware optimization (ABC-style passes)."""
+
+from .constprop import (
+    classify_nodes,
+    param_bit_values,
+    parameter_cone_nodes,
+    specialize,
+)
+from .optimize import OptimizeReport, RewriteResult, optimize, rewrite, sweep
+from .synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "classify_nodes",
+    "param_bit_values",
+    "parameter_cone_nodes",
+    "specialize",
+    "OptimizeReport",
+    "RewriteResult",
+    "optimize",
+    "rewrite",
+    "sweep",
+    "SynthesisResult",
+    "synthesize",
+]

@@ -1,0 +1,24 @@
+"""Technology mapping: conventional LUT mapping and TCONMAP (TLUTs + TCONs)."""
+
+from .cuts import Cut, CutEnumerator, decompose_to_binary, param_only_nodes
+from .lutmap import map_conventional
+from .mapper import MapperOptions, technology_map
+from .mapping import MappedNetwork, MappedNode, MappingStats, NodeKind, SpecializedNetwork
+from .tconmap import map_parameterized, tconmap
+
+__all__ = [
+    "Cut",
+    "CutEnumerator",
+    "decompose_to_binary",
+    "param_only_nodes",
+    "map_conventional",
+    "MapperOptions",
+    "technology_map",
+    "MappedNetwork",
+    "MappedNode",
+    "MappingStats",
+    "NodeKind",
+    "SpecializedNetwork",
+    "map_parameterized",
+    "tconmap",
+]

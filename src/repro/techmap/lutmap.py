@@ -1,0 +1,32 @@
+"""Conventional 4-LUT technology mapping.
+
+This models the *conventional VCGRA implementation* of the paper: every part
+of the Processing Element -- functional logic, settings-register consumers
+and the intra-PE routing multiplexers -- is realized in the FPGA's LUTs, and
+the parameter inputs (settings-register bits) occupy ordinary LUT pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netlist.circuit import Circuit
+from .mapper import MapperOptions, technology_map
+from .mapping import MappedNetwork
+
+__all__ = ["map_conventional"]
+
+
+def map_conventional(
+    circuit: Circuit,
+    k: int = 4,
+    max_cuts: int = 6,
+) -> MappedNetwork:
+    """Map a circuit to K-input LUTs with no parameterization.
+
+    Returns a :class:`~repro.techmap.mapping.MappedNetwork` containing only
+    static LUTs (plus leaves); ``num_tluts()`` and ``num_tcons()`` are zero
+    by construction.
+    """
+    options = MapperOptions(k=k, parameterized=False, max_cuts=max_cuts)
+    return technology_map(circuit, options)

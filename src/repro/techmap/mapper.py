@@ -1,0 +1,309 @@
+"""Shared cut-based technology-mapping engine.
+
+The engine implements both mapping styles of the paper:
+
+* **Conventional mapping** (``parameterized=False``): every input -- including
+  the settings-register / parameter inputs -- occupies a physical LUT pin.
+  This models the conventional VCGRA implementation in which the PE's
+  functional and routing logic is all realized in LUTs.
+* **TCONMAP** (``parameterized=True``): parameter inputs and parameter-only
+  logic are folded into reconfigurable LUT truth tables (TLUTs), and gates
+  that degenerate to plain wires for every parameter assignment are extracted
+  as Tunable Connections (TCONs) to be realized on physical routing switches.
+
+The algorithm is classic priority-cut mapping (depth-oriented selection with
+an area tie-break), matching the role TCONMAP plays in the paper's flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netlist.boolean import TruthTable, restrict
+from ..netlist.circuit import Circuit, Op
+from ..netlist.library import eval_gate
+from .cuts import Cut, CutEnumerator, decompose_to_binary, param_only_nodes
+from .mapping import MappedNetwork, MappedNode, NodeKind
+
+__all__ = ["MapperOptions", "technology_map"]
+
+
+@dataclass
+class MapperOptions:
+    """Knobs of the technology-mapping engine."""
+
+    k: int = 4                 #: physical LUT input count
+    parameterized: bool = False  #: TCONMAP mode (TLUTs + TCONs) vs conventional
+    max_cuts: int = 6          #: priority cuts kept per node
+    max_tune: int = 8          #: tune leaves allowed per cut (bounds TLUT table width)
+    extract_tcons: bool = True  #: allow TCON extraction in parameterized mode
+
+
+# ---------------------------------------------------------------------------
+# Cut-function computation
+# ---------------------------------------------------------------------------
+
+def _cone_function(
+    circuit: Circuit, root: int, variables: Sequence[int]
+) -> TruthTable:
+    """Truth table of ``root`` expressed over the ``variables`` leaf nodes.
+
+    The cone is bounded by ``variables``; constants encountered inside the
+    cone are folded.  The number of variables must be small (<= ~14).
+    """
+    var_pos = {nid: i for i, nid in enumerate(variables)}
+    num_vars = len(variables)
+    num_rows = 1 << num_vars
+    mask = (1 << num_rows) - 1
+
+    # Gather cone nodes (root down to the variables), excluding the variables.
+    cone: List[int] = []
+    seen: Set[int] = set()
+    stack = [root]
+    while stack:
+        nid = stack.pop()
+        if nid in seen or nid in var_pos:
+            continue
+        seen.add(nid)
+        cone.append(nid)
+        op = circuit.ops[nid]
+        if op not in Op.LEAVES:
+            stack.extend(circuit.fanins[nid])
+        elif op not in (Op.CONST0, Op.CONST1):
+            raise ValueError(
+                f"cone of node {root} reaches non-constant leaf {nid} "
+                "that is not part of the cut"
+            )
+    cone.sort()
+
+    # Exhaustive patterns for the variables.
+    values: Dict[int, int] = {}
+    for nid, pos in var_pos.items():
+        packed = 0
+        block = 1 << pos
+        period = block << 1
+        for start in range(block, num_rows, period):
+            packed |= ((1 << block) - 1) << start
+        values[nid] = packed
+
+    for nid in cone:
+        op = circuit.ops[nid]
+        if op == Op.CONST0:
+            values[nid] = 0
+        elif op == Op.CONST1:
+            values[nid] = mask
+        else:
+            args = [values[f] for f in circuit.fanins[nid]]
+            values[nid] = eval_gate(op, args, mask)
+    return TruthTable(num_vars, values[root])
+
+
+def _is_noninverting_wire(tt: TruthTable, num_data: int) -> bool:
+    """True if ``tt`` restricted to *every* tune assignment is a plain wire.
+
+    ``tt`` is over ``num_data`` data variables followed by tune variables.
+    For every assignment of the tune variables the restricted function must
+    equal one of the data variables (without inversion) or a constant.
+    """
+    num_tune = tt.num_vars - num_data
+    from ..netlist.boolean import var_tt  # local import to avoid cycle at module load
+
+    data_patterns = [var_tt(v, tt.num_vars).bits for v in range(num_data)]
+    full_mask = (1 << (1 << tt.num_vars)) - 1
+    for assignment in range(1 << num_tune):
+        assign_map = {num_data + j: (assignment >> j) & 1 for j in range(num_tune)}
+        restricted = restrict(tt, assign_map)
+        bits = restricted.bits
+        if bits == 0 or bits == full_mask:
+            continue
+        if not any(bits == p for p in data_patterns):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# TCON extraction
+# ---------------------------------------------------------------------------
+
+def _detect_tcons(
+    circuit: Circuit, options: MapperOptions, param_only: Set[int]
+) -> Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...], TruthTable]]:
+    """Find gates that are tunable connections.
+
+    Returns a dict mapping the circuit node id of each TCON to
+    ``(data_fanins, tune_fanins, local_function)`` where the function is over
+    the data fanins followed by the tune fanins.
+    """
+    tcons: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...], TruthTable]] = {}
+    if not (options.parameterized and options.extract_tcons):
+        return tcons
+
+    for nid in circuit.gate_ids():
+        if nid in param_only:
+            continue
+        fins = circuit.fanins[nid]
+        data: List[int] = []
+        tune: List[int] = []
+        for f in dict.fromkeys(fins):  # unique, order-preserving
+            if circuit.ops[f] == Op.PARAM or f in param_only:
+                tune.append(f)
+            elif circuit.ops[f] in (Op.CONST0, Op.CONST1):
+                continue
+            else:
+                data.append(f)
+        if not tune or not data:
+            continue
+        if len(data) + len(tune) > 12:
+            continue
+        variables = tuple(data) + tuple(tune)
+        tt = _cone_function(circuit, nid, variables)
+        if _is_noninverting_wire(tt, len(data)):
+            # Every qualifying gate becomes a TCON regardless of fanout; in the
+            # physical implementation a multi-fanout tunable connection is
+            # simply a routing switch with several sinks.
+            tcons[nid] = (tuple(data), tuple(tune), tt)
+    return tcons
+
+
+# ---------------------------------------------------------------------------
+# Mapping engine
+# ---------------------------------------------------------------------------
+
+def technology_map(circuit: Circuit, options: Optional[MapperOptions] = None) -> MappedNetwork:
+    """Map a gate-level circuit to a network of LUTs, TLUTs and TCONs.
+
+    The input circuit is first normalized (variadic gates decomposed to
+    binary trees); the returned :class:`MappedNetwork` references the
+    normalized circuit as its ``source``.
+    """
+    options = options or MapperOptions()
+    prepared = decompose_to_binary(circuit)
+    prepared.validate()
+
+    p_only = param_only_nodes(prepared) if options.parameterized else set()
+    tcons = _detect_tcons(prepared, options, p_only)
+
+    enumerator = CutEnumerator(
+        prepared,
+        k=options.k,
+        parameterized=options.parameterized,
+        max_cuts=options.max_cuts,
+        max_tune=options.max_tune,
+        barriers=set(tcons),
+    )
+    enumerator.enumerate()
+
+    network = MappedNetwork(prepared, k=options.k)
+
+    # ------------------------------------------------------------------
+    # Phase 1: decide which circuit nodes need a mapped realization.
+    # ------------------------------------------------------------------
+    selected_cut: Dict[int, Cut] = {}
+    needed: Set[int] = set()
+    stack = list(prepared.outputs.values())
+    while stack:
+        nid = stack.pop()
+        if nid in needed:
+            continue
+        op = prepared.ops[nid]
+        needed.add(nid)
+        if op in Op.LEAVES:
+            continue
+        if options.parameterized and nid in p_only:
+            # Realized as a parameter-driven configuration value (a TLUT with
+            # no data inputs) only if something physical consumes it -- which
+            # is the case here because it was reached from an output or a
+            # mapped node's data leaves.
+            continue
+        if nid in tcons:
+            data, tune, _tt = tcons[nid]
+            stack.extend(data)
+            continue
+        cut = enumerator.best_cut(nid)
+        selected_cut[nid] = cut
+        stack.extend(cut.data_leaves)
+
+    # ------------------------------------------------------------------
+    # Phase 2: create mapped nodes in topological order.
+    # ------------------------------------------------------------------
+    node_map: Dict[int, int] = {}
+    for nid in sorted(needed):
+        op = prepared.ops[nid]
+        name = prepared.names.get(nid)
+        if op == Op.INPUT:
+            node_map[nid] = network.add_node(
+                MappedNode(NodeKind.INPUT, source=nid, name=name or f"in{nid}")
+            )
+        elif op == Op.PARAM:
+            node_map[nid] = network.add_node(
+                MappedNode(NodeKind.PARAM, source=nid, name=name or f"param{nid}")
+            )
+            if not options.parameterized:
+                # In the conventional flow parameters are ordinary inputs.
+                pass
+        elif op == Op.CONST0:
+            node_map[nid] = network.add_node(MappedNode(NodeKind.CONST0, source=nid))
+        elif op == Op.CONST1:
+            node_map[nid] = network.add_node(MappedNode(NodeKind.CONST1, source=nid))
+        elif options.parameterized and nid in p_only:
+            # Pure function of parameters: a zero-data-input TLUT whose single
+            # configuration bit is computed by the SCG.  The tune variable is
+            # the node itself and the function is the identity on it.
+            from ..netlist.boolean import var_tt
+
+            node_map[nid] = network.add_node(
+                MappedNode(
+                    NodeKind.TLUT,
+                    inputs=(),
+                    function=var_tt(0, 1),
+                    tune_vars=(nid,),
+                    source=nid,
+                    name=name,
+                )
+            )
+        elif nid in tcons:
+            data, tune, tt = tcons[nid]
+            inputs = tuple(node_map[d] for d in data)
+            node_map[nid] = network.add_node(
+                MappedNode(
+                    NodeKind.TCON,
+                    inputs=inputs,
+                    function=tt,
+                    tune_vars=tune,
+                    source=nid,
+                    name=name,
+                )
+            )
+        else:
+            cut = selected_cut[nid]
+            variables = cut.data_leaves + cut.tune_leaves
+            tt = _cone_function(prepared, nid, variables)
+            tune_vars = cut.tune_leaves
+            if tune_vars and not any(
+                tt.depends_on(len(cut.data_leaves) + j) for j in range(len(tune_vars))
+            ):
+                # The cut function turned out independent of the parameters:
+                # shrink it to the data variables and emit a static LUT.
+                assignment = {len(cut.data_leaves) + j: 0 for j in range(len(tune_vars))}
+                tt_data = restrict(tt, assignment)
+                small, kept = tt_data.shrink_to_support()
+                tt = small.expand(len(cut.data_leaves), list(kept))
+                tune_vars = ()
+            kind = NodeKind.TLUT if tune_vars else NodeKind.LUT
+            inputs = tuple(node_map[d] for d in cut.data_leaves)
+            node_map[nid] = network.add_node(
+                MappedNode(
+                    kind,
+                    inputs=inputs,
+                    function=tt,
+                    tune_vars=tune_vars,
+                    source=nid,
+                    name=name,
+                )
+            )
+
+    for out_name, out_nid in prepared.outputs.items():
+        network.add_output(out_name, node_map[out_nid])
+    network.validate()
+    return network

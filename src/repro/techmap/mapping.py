@@ -1,0 +1,383 @@
+"""Mapped-netlist data structures shared by the technology mappers.
+
+A :class:`MappedNetwork` is the output of technology mapping: a netlist whose
+nodes are 4-input LUTs, *Tunable* LUTs (TLUTs), *Tunable Connections* (TCONs)
+and leaves (regular inputs, parameter inputs, constants).
+
+* A **LUT** implements a fixed Boolean function of up to K data inputs.
+* A **TLUT** implements a Boolean function of up to K data inputs whose
+  *configuration* (truth table) additionally depends on the parameter
+  inputs.  Physically it is one LUT whose configuration bits are rewritten
+  by micro-reconfiguration whenever the parameters change.
+* A **TCON** is a connection that, for every fixed parameter assignment,
+  degenerates to a plain (non-inverting) wire from one of its data inputs or
+  to a constant.  It consumes no LUT; it is realized on the FPGA's physical
+  routing switches, which is exactly the contribution of the paper.
+
+The extra "tuning" variables of TLUTs and TCONs are recorded per node as
+references to *source-circuit* node ids (parameter inputs or parameter-only
+internal nodes).  Specialization -- the job of the SCG in the paper's flow --
+is performed by :meth:`MappedNetwork.specialize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist.boolean import TruthTable, restrict, wire_source
+from ..netlist.circuit import Circuit, Op
+from ..netlist.simulate import simulate_patterns
+
+__all__ = ["MappedNode", "MappedNetwork", "SpecializedNetwork", "MappingStats"]
+
+
+class NodeKind:
+    """Node kinds of a mapped network."""
+
+    INPUT = "input"
+    PARAM = "param"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    LUT = "lut"
+    TLUT = "tlut"
+    TCON = "tcon"
+
+    LEAVES = (INPUT, PARAM, CONST0, CONST1)
+    LOGIC = (LUT, TLUT, TCON)
+
+
+@dataclass
+class MappedNode:
+    """One node of a mapped network."""
+
+    kind: str
+    #: mapped-network ids of the data inputs (LSB-first variable order)
+    inputs: Tuple[int, ...] = ()
+    #: Boolean function over (data inputs ++ tune variables); ``None`` for leaves
+    function: Optional[TruthTable] = None
+    #: source-circuit node ids of the tuning variables (params / param-only nodes)
+    tune_vars: Tuple[int, ...] = ()
+    #: source-circuit node id this mapped node implements (for traceability)
+    source: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def is_tunable(self) -> bool:
+        return bool(self.tune_vars)
+
+    @property
+    def num_data_inputs(self) -> int:
+        return len(self.inputs)
+
+
+@dataclass
+class MappingStats:
+    """Resource summary of a mapped network (the quantities of Table I)."""
+
+    num_luts: int
+    num_tluts: int
+    num_tcons: int
+    depth: int
+    num_inputs: int
+    num_params: int
+    num_outputs: int
+
+    @property
+    def num_static_luts(self) -> int:
+        """LUTs whose configuration never changes (part of the Template Configuration)."""
+        return self.num_luts - self.num_tluts
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "luts": self.num_luts,
+            "tluts": self.num_tluts,
+            "static_luts": self.num_static_luts,
+            "tcons": self.num_tcons,
+            "depth": self.depth,
+            "inputs": self.num_inputs,
+            "params": self.num_params,
+            "outputs": self.num_outputs,
+        }
+
+
+@dataclass
+class SpecializedNetwork:
+    """A mapped network specialized for concrete parameter values.
+
+    This is the output of the Specialized Configuration Generator: per-TLUT
+    truth tables with the parameters substituted, and per-TCON selected
+    sources.  ``lut_configs[node_id]`` is the specialized truth table,
+    ``tcon_routes[node_id]`` is ``("var", input_position)`` /
+    ``("const0"|"const1", None)``.
+    """
+
+    network: "MappedNetwork"
+    param_values: Dict[int, int]
+    lut_configs: Dict[int, TruthTable] = field(default_factory=dict)
+    tcon_routes: Dict[int, Tuple[str, Optional[int]]] = field(default_factory=dict)
+
+    def evaluate(self, input_values: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate the specialized network on named 0/1 input values."""
+        return self.network._evaluate(input_values, specialized=self)
+
+
+class MappedNetwork:
+    """A technology-mapped netlist of LUTs, TLUTs and TCONs."""
+
+    def __init__(self, source: Circuit, k: int = 4) -> None:
+        self.source = source
+        self.k = k
+        self.nodes: List[MappedNode] = []
+        self.outputs: Dict[str, int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: MappedNode) -> int:
+        for inp in node.inputs:
+            if not 0 <= inp < len(self.nodes):
+                raise ValueError(f"mapped node input {inp} does not exist")
+        if node.kind in (NodeKind.LUT, NodeKind.TLUT) and node.function is None:
+            raise ValueError("LUT/TLUT nodes need a function")
+        self.nodes.append(node)
+        return len(self.nodes) - 1
+
+    def add_output(self, name: str, node_id: int) -> None:
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        self.outputs[name] = node_id
+
+    # -- statistics ----------------------------------------------------------
+
+    def num_luts(self) -> int:
+        """Total LUT count (static LUTs + TLUTs), the headline metric of Table I."""
+        return sum(1 for n in self.nodes if n.kind in (NodeKind.LUT, NodeKind.TLUT))
+
+    def num_tluts(self) -> int:
+        return sum(1 for n in self.nodes if n.kind == NodeKind.TLUT)
+
+    def num_tcons(self) -> int:
+        return sum(1 for n in self.nodes if n.kind == NodeKind.TCON)
+
+    def logic_node_ids(self) -> List[int]:
+        return [i for i, n in enumerate(self.nodes) if n.kind in NodeKind.LOGIC]
+
+    def lut_node_ids(self) -> List[int]:
+        return [i for i, n in enumerate(self.nodes) if n.kind in (NodeKind.LUT, NodeKind.TLUT)]
+
+    def tcon_node_ids(self) -> List[int]:
+        return [i for i, n in enumerate(self.nodes) if n.kind == NodeKind.TCON]
+
+    def input_node_ids(self) -> List[int]:
+        return [i for i, n in enumerate(self.nodes) if n.kind == NodeKind.INPUT]
+
+    def param_node_ids(self) -> List[int]:
+        return [i for i, n in enumerate(self.nodes) if n.kind == NodeKind.PARAM]
+
+    def levels(self) -> List[int]:
+        """Per-node logic level; LUT/TLUT nodes count one level, TCONs count zero."""
+        level = [0] * len(self.nodes)
+        for nid, node in enumerate(self.nodes):
+            if node.kind in NodeKind.LEAVES:
+                level[nid] = 0
+            else:
+                base = max((level[i] for i in node.inputs), default=0)
+                level[nid] = base + (1 if node.kind in (NodeKind.LUT, NodeKind.TLUT) else 0)
+        return level
+
+    def depth(self) -> int:
+        """Logic depth in LUT levels over the primary outputs."""
+        if not self.outputs:
+            return 0
+        level = self.levels()
+        return max(level[n] for n in self.outputs.values())
+
+    def stats(self) -> MappingStats:
+        return MappingStats(
+            num_luts=self.num_luts(),
+            num_tluts=self.num_tluts(),
+            num_tcons=self.num_tcons(),
+            depth=self.depth(),
+            num_inputs=len(self.input_node_ids()),
+            num_params=len(self.param_node_ids()),
+            num_outputs=len(self.outputs),
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants of the mapped network."""
+        for nid, node in enumerate(self.nodes):
+            if node.kind not in NodeKind.LEAVES + NodeKind.LOGIC:
+                raise ValueError(f"node {nid}: unknown kind {node.kind!r}")
+            for inp in node.inputs:
+                if not 0 <= inp < nid:
+                    raise ValueError(f"node {nid}: input {inp} is not an earlier node")
+            if node.kind in (NodeKind.LUT, NodeKind.TLUT):
+                if len(node.inputs) > self.k:
+                    raise ValueError(
+                        f"node {nid}: {len(node.inputs)} data inputs exceed K={self.k}"
+                    )
+                expected_vars = len(node.inputs) + len(node.tune_vars)
+                if node.function.num_vars != expected_vars:
+                    raise ValueError(
+                        f"node {nid}: function arity {node.function.num_vars} != "
+                        f"{expected_vars} (inputs + tune vars)"
+                    )
+                if node.kind == NodeKind.LUT and node.tune_vars:
+                    raise ValueError(f"node {nid}: static LUT must not have tune vars")
+                if node.kind == NodeKind.TLUT and not node.tune_vars:
+                    raise ValueError(f"node {nid}: TLUT must have tune vars")
+            if node.kind == NodeKind.TCON:
+                if node.function is None or not node.tune_vars:
+                    raise ValueError(f"node {nid}: TCON needs a function and tune vars")
+        for name, nid in self.outputs.items():
+            if not 0 <= nid < len(self.nodes):
+                raise ValueError(f"output {name!r} refers to missing node {nid}")
+
+    # -- specialization (the SCG step) ---------------------------------------
+
+    def _tune_var_values(self, param_values: Mapping[int, int]) -> Dict[int, int]:
+        """Evaluate every tune variable (param or param-only source node) for
+        the given parameter assignment by simulating the source circuit."""
+        needed = set()
+        for node in self.nodes:
+            needed.update(node.tune_vars)
+        if not needed:
+            return {}
+        values = simulate_patterns(self.source, {}, 1, dict(param_values))
+        return {nid: values[nid] & 1 for nid in needed}
+
+    def specialize(self, param_values: Mapping[int, int]) -> SpecializedNetwork:
+        """Generate the specialized configuration for a concrete parameter assignment.
+
+        ``param_values`` maps source-circuit *parameter node ids* to 0/1.  The
+        result carries, for every TLUT, the specialized truth table over its
+        data inputs and, for every TCON, the selected data source -- i.e. the
+        bits the SCG would write into the FPGA's configuration memory.
+        """
+        tune_values = self._tune_var_values(param_values)
+        spec = SpecializedNetwork(self, dict(param_values))
+        for nid, node in enumerate(self.nodes):
+            if node.kind == NodeKind.LUT:
+                spec.lut_configs[nid] = node.function
+            elif node.kind == NodeKind.TLUT:
+                assignment = {
+                    len(node.inputs) + j: tune_values.get(var, 0)
+                    for j, var in enumerate(node.tune_vars)
+                }
+                restricted = restrict(node.function, assignment)
+                small, kept = restricted.shrink_to_support()
+                # Re-express over exactly the data-input variables.
+                spec.lut_configs[nid] = small.expand(len(node.inputs), list(kept))
+            elif node.kind == NodeKind.TCON:
+                assignment = {
+                    len(node.inputs) + j: tune_values.get(var, 0)
+                    for j, var in enumerate(node.tune_vars)
+                }
+                restricted = restrict(node.function, assignment)
+                kind, var, inverted = wire_source(restricted, range(len(node.inputs)))
+                if inverted:
+                    raise ValueError(
+                        f"TCON node {nid} specialized to an inverted wire; "
+                        "mapper must not emit inverting TCONs"
+                    )
+                spec.tcon_routes[nid] = (kind, var)
+        return spec
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _evaluate(
+        self,
+        input_values: Mapping[str, int],
+        specialized: Optional[SpecializedNetwork] = None,
+        param_values: Optional[Mapping[int, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate the network for one pattern of named input values."""
+        if specialized is None:
+            specialized = self.specialize(dict(param_values or {}))
+        name_to_value = dict(input_values)
+        values: List[int] = [0] * len(self.nodes)
+        for nid, node in enumerate(self.nodes):
+            if node.kind == NodeKind.INPUT:
+                values[nid] = 1 if name_to_value.get(node.name, 0) else 0
+            elif node.kind == NodeKind.PARAM:
+                # Only present in conventionally mapped networks, where the
+                # settings register drives the logic through ordinary pins.
+                values[nid] = 1 if specialized.param_values.get(node.source, 0) else 0
+            elif node.kind == NodeKind.CONST0:
+                values[nid] = 0
+            elif node.kind == NodeKind.CONST1:
+                values[nid] = 1
+            elif node.kind in (NodeKind.LUT, NodeKind.TLUT):
+                config = specialized.lut_configs[nid]
+                values[nid] = config.evaluate([values[i] for i in node.inputs])
+            else:  # TCON
+                kind, var = specialized.tcon_routes[nid]
+                if kind == "const0":
+                    values[nid] = 0
+                elif kind == "const1":
+                    values[nid] = 1
+                else:
+                    values[nid] = values[node.inputs[var]]
+        return {name: values[nid] for name, nid in self.outputs.items()}
+
+    def evaluate(
+        self, input_values: Mapping[str, int], param_values: Mapping[int, int]
+    ) -> Dict[str, int]:
+        """Specialize for ``param_values`` and evaluate one input pattern."""
+        return self._evaluate(input_values, param_values=param_values)
+
+    # -- word-level conveniences ----------------------------------------------
+
+    def specialize_words(self, param_words: Mapping[str, int]) -> SpecializedNetwork:
+        """Specialize using word-level parameter values keyed by bus name."""
+        from ..synth.constprop import param_bit_values
+
+        return self.specialize(param_bit_values(self.source, param_words))
+
+    def evaluate_words(
+        self,
+        input_words: Mapping[str, Sequence[int]],
+        param_words: Mapping[str, int],
+    ) -> Dict[str, List[int]]:
+        """Evaluate word-level stimulus (bus name -> word list) on the mapped network.
+
+        Buses follow the ``name[i]`` port convention of the HDL builder.  The
+        network is specialized once for ``param_words`` and then evaluated per
+        pattern; output buses are reassembled into unsigned integers.
+        """
+        spec = self.specialize_words(param_words)
+        num_patterns = max((len(v) for v in input_words.values()), default=0)
+
+        def split(port: str) -> Tuple[str, int]:
+            if "[" in port and port.endswith("]"):
+                return port[: port.index("[")], int(port[port.index("[") + 1 : -1])
+            return port, 0
+
+        # Group the network's input port names by bus.
+        input_ports: Dict[str, List[Tuple[int, str]]] = {}
+        for node in self.nodes:
+            if node.kind == NodeKind.INPUT and node.name:
+                bus, idx = split(node.name)
+                input_ports.setdefault(bus, []).append((idx, node.name))
+
+        results: Dict[str, List[int]] = {}
+        for p in range(num_patterns):
+            bit_inputs: Dict[str, int] = {}
+            for bus, words in input_words.items():
+                word = int(words[p]) if p < len(words) else 0
+                for idx, port_name in input_ports.get(bus, []):
+                    bit_inputs[port_name] = (word >> idx) & 1
+            out_bits = spec.evaluate(bit_inputs)
+            for port, value in out_bits.items():
+                bus, idx = split(port)
+                results.setdefault(bus, [0] * num_patterns)
+                if value:
+                    results[bus][p] |= 1 << idx
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        s = self.stats()
+        return (
+            f"MappedNetwork(luts={s.num_luts}, tluts={s.num_tluts}, "
+            f"tcons={s.num_tcons}, depth={s.depth})"
+        )

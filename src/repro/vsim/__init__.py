@@ -1,0 +1,6 @@
+"""Cycle-level functional simulation of a configured VCGRA grid."""
+
+from .mac import MACUnit
+from .simulator import SimulationTrace, VCGRASimulator
+
+__all__ = ["MACUnit", "SimulationTrace", "VCGRASimulator"]

@@ -1,0 +1,147 @@
+"""Tests for BLIF export of circuits and mapped networks."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit, Op
+from repro.netlist.export import circuit_to_blif, mapped_network_to_blif
+from repro.netlist.hdl import Design
+from repro.synth.constprop import param_bit_values
+from repro.synth.optimize import optimize
+from repro.techmap import map_conventional, map_parameterized
+
+
+def parse_names_blocks(blif: str):
+    """Split a BLIF text into .names blocks: {output: (inputs, cover rows)}."""
+    blocks = {}
+    lines = blif.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith(".names"):
+            sigs = line.split()[1:]
+            out = sigs[-1]
+            cover = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith(".") and not lines[i].startswith("#"):
+                if lines[i].strip():
+                    cover.append(lines[i].strip())
+                i += 1
+            blocks[out] = (sigs[:-1], cover)
+        else:
+            i += 1
+    return blocks
+
+
+def eval_blif(blif: str, input_values: dict) -> dict:
+    """Tiny BLIF interpreter used to check exported logic against the source."""
+    blocks = parse_names_blocks(blif)
+    lines = blif.splitlines()
+    inputs = []
+    outputs = []
+    for line in lines:
+        if line.startswith(".inputs"):
+            inputs = line.split()[1:]
+        elif line.startswith(".outputs"):
+            outputs = line.split()[1:]
+    values = dict(input_values)
+
+    def value_of(sig):
+        if sig in values:
+            return values[sig]
+        ins, cover = blocks[sig]
+        in_vals = [value_of(s) for s in ins]
+        out = 0
+        for row in cover:
+            if " " in row:
+                pattern, result = row.rsplit(" ", 1)
+            else:
+                pattern, result = "", row
+            match = all(
+                p == "-" or int(p) == v for p, v in zip(pattern, in_vals)
+            )
+            if match and result == "1":
+                out = 1
+        values[sig] = out
+        return out
+
+    return {o: value_of(o) for o in outputs}
+
+
+class TestCircuitExport:
+    def test_all_gate_types_roundtrip(self):
+        c = Circuit("gates")
+        a, b, s = c.add_input("a"), c.add_input("b"), c.add_input("s")
+        c.add_output("o_and", c.gate(Op.AND, a, b))
+        c.add_output("o_or", c.gate(Op.OR, a, b))
+        c.add_output("o_xor", c.gate(Op.XOR, a, b))
+        c.add_output("o_nand", c.gate(Op.NAND, a, b))
+        c.add_output("o_nor", c.gate(Op.NOR, a, b))
+        c.add_output("o_xnor", c.gate(Op.XNOR, a, b))
+        c.add_output("o_not", c.gate(Op.NOT, a))
+        c.add_output("o_mux", c.gate(Op.MUX, s, a, b))
+        blif = circuit_to_blif(c)
+        assert blif.startswith(".model gates")
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vs in (0, 1):
+                    out = eval_blif(blif, {"a": va, "b": vb, "s": vs})
+                    assert out["o_and"] == (va & vb)
+                    assert out["o_or"] == (va | vb)
+                    assert out["o_xor"] == (va ^ vb)
+                    assert out["o_nand"] == 1 - (va & vb)
+                    assert out["o_nor"] == 1 - (va | vb)
+                    assert out["o_xnor"] == 1 - (va ^ vb)
+                    assert out["o_not"] == 1 - va
+                    assert out["o_mux"] == (vb if vs else va)
+
+    def test_params_are_annotated(self):
+        d = Design("p")
+        a = d.input_bus("a", 2)
+        k = d.param_bus("k", 2)
+        d.output_bus("y", d.v_and(a, k))
+        blif = circuit_to_blif(d.circuit)
+        assert "# --PARAM inputs:" in blif
+        assert "k[0]" in blif
+
+    def test_constants_exported(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.add_output("y", c.g_or(a, c.const(1)))
+        blif = circuit_to_blif(c)
+        assert eval_blif(blif, {"a": 0})["y"] == 1
+
+
+class TestMappedNetworkExport:
+    def test_static_network_export(self):
+        d = Design("adder")
+        a = d.input_bus("a", 3)
+        b = d.input_bus("b", 3)
+        d.output_bus("s", d.adder(a, b)[0])
+        net = map_conventional(optimize(d.circuit)[0])
+        blif = mapped_network_to_blif(net)
+        out = eval_blif(blif, {f"a[{i}]": (3 >> i) & 1 for i in range(3)}
+                        | {f"b[{i}]": (2 >> i) & 1 for i in range(3)})
+        value = sum(out[f"s[{i}]"] << i for i in range(3))
+        assert value == 5
+
+    def test_parameterized_network_needs_param_values(self):
+        d = Design("pmul")
+        a = d.input_bus("a", 3)
+        k = d.param_bus("k", 3)
+        d.output_bus("p", d.multiplier(a, k))
+        net = map_parameterized(optimize(d.circuit)[0])
+        with pytest.raises(ValueError):
+            mapped_network_to_blif(net)
+
+    def test_specialized_export_matches_arithmetic(self):
+        d = Design("pmul")
+        a = d.input_bus("a", 3)
+        k = d.param_bus("k", 3)
+        d.output_bus("p", d.multiplier(a, k))
+        net = map_parameterized(optimize(d.circuit)[0])
+        params = param_bit_values(net.source, {"k": 5})
+        blif = mapped_network_to_blif(net, param_values=params)
+        assert "# TCON" in blif
+        out = eval_blif(blif, {f"a[{i}]": (6 >> i) & 1 for i in range(3)})
+        value = sum(out[f"p[{i}]"] << i for i in range(6))
+        assert value == 30
