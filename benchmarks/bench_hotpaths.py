@@ -1,0 +1,207 @@
+"""Hot-path kernel benchmark: simulation, placement, routing.
+
+Times the three CAD hot paths on fixed seeds, comparing the reworked kernels
+against the seed ("reference") implementations that are kept behind the same
+APIs, and writes a machine-readable ``BENCH_hotpaths.json`` at the repo root
+so future PRs have a perf trajectory.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py
+
+The workload is the paper's conventional Processing Element (reduced
+FloPoCo format, same scale as the default benchmark harness).  Every
+comparison also checks result fidelity: simulation outputs must be
+bit-identical and placement/routing quality metrics (HPWL, wirelength,
+success) must be unchanged for the fixed seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pe import ProcessingElementSpec, build_pe_design
+from repro.flopoco.format import FPFormat
+from repro.fpga.architecture import auto_size
+from repro.fpga.device import build_device
+from repro.netlist.engine import compile_circuit
+from repro.netlist.simulate import (
+    random_patterns,
+    simulate_patterns,
+    simulate_patterns_reference,
+)
+from repro.par.netlist import from_mapped_network
+from repro.par.placement import place
+from repro.par.routing import route
+from repro.synth.optimize import optimize
+from repro.techmap import map_conventional
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+BENCH_FORMAT = FPFormat(we=5, wf=10)
+SIM_PATTERNS = 1024
+SIM_REPEATS = 20
+SIM_REF_REPEATS = 5
+PLACE_SEED = 0
+PLACE_EFFORT = 0.25
+ROUTE_SEED = 0
+CHANNEL_WIDTH = 12
+
+
+def _build_workload():
+    spec = ProcessingElementSpec(fmt=BENCH_FORMAT, num_inputs=2, counter_width=4)
+    circuit, _ = optimize(build_pe_design(spec).circuit)
+    network = map_conventional(circuit)
+    netlist = from_mapped_network(network)
+    arch = auto_size(
+        netlist.num_logic_blocks() + netlist.num_ff_blocks(),
+        netlist.num_io_blocks(),
+        channel_width=CHANNEL_WIDTH,
+    )
+    return circuit, netlist, arch
+
+
+def bench_simulation(circuit):
+    patterns = random_patterns(circuit, SIM_PATTERNS)
+    compile_circuit(circuit)  # compile outside the timed region (one-time cost)
+    simulate_patterns(circuit, patterns, SIM_PATTERNS)  # warm the codegen path
+
+    t0 = time.perf_counter()
+    for _ in range(SIM_REPEATS):
+        fast = simulate_patterns(circuit, patterns, SIM_PATTERNS)
+    fast_s = (time.perf_counter() - t0) / SIM_REPEATS
+
+    t0 = time.perf_counter()
+    for _ in range(SIM_REF_REPEATS):
+        ref = simulate_patterns_reference(circuit, patterns, SIM_PATTERNS)
+    ref_s = (time.perf_counter() - t0) / SIM_REF_REPEATS
+
+    node_evals = len(circuit.ops) * SIM_PATTERNS
+    return {
+        "workload": f"PE circuit, {len(circuit.ops)} nodes x {SIM_PATTERNS} patterns",
+        "reference_seconds": ref_s,
+        "fast_seconds": fast_s,
+        "speedup": ref_s / fast_s,
+        "ops_per_sec_reference": node_evals / ref_s,
+        "ops_per_sec_fast": node_evals / fast_s,
+        "identical_outputs": ref == fast,
+    }
+
+
+def bench_placement(netlist, arch):
+    t0 = time.perf_counter()
+    ref = place(netlist, arch, seed=PLACE_SEED, effort=PLACE_EFFORT, kernel="reference")
+    ref_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = place(netlist, arch, seed=PLACE_SEED, effort=PLACE_EFFORT, kernel="incremental")
+    fast_s = time.perf_counter() - t0
+
+    identical = (
+        fast.cost == ref.cost
+        and fast.moves_attempted == ref.moves_attempted
+        and fast.moves_accepted == ref.moves_accepted
+        and all(
+            fast.placement.block_site[b].as_tuple() == s.as_tuple()
+            for b, s in ref.placement.block_site.items()
+        )
+    )
+    return {
+        "workload": (
+            f"{len(netlist.blocks)} blocks / {len(netlist.nets)} nets on "
+            f"{arch.width}x{arch.height}, seed={PLACE_SEED}, effort={PLACE_EFFORT}"
+        ),
+        "reference_seconds": ref_s,
+        "fast_seconds": fast_s,
+        "speedup": ref_s / fast_s,
+        "ops_per_sec_reference": ref.moves_attempted / ref_s,
+        "ops_per_sec_fast": fast.moves_attempted / fast_s,
+        "hpwl_reference": ref.cost,
+        "hpwl_fast": fast.cost,
+        "identical_outputs": identical,
+    }, fast.placement
+
+
+def bench_routing(netlist, arch, placement):
+    device = build_device(arch)
+
+    t0 = time.perf_counter()
+    ref = route(netlist, placement, device, kernel="reference")
+    ref_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = route(netlist, placement, device, kernel="fast")
+    fast_s = time.perf_counter() - t0
+
+    identical = (
+        fast.success == ref.success
+        and fast.wirelength == ref.wirelength
+        and fast.iterations == ref.iterations
+        and all(fast.routes[k].nodes == r.nodes for k, r in ref.routes.items())
+    )
+    return {
+        "workload": (
+            f"{len(netlist.nets)} nets, W={CHANNEL_WIDTH}, "
+            f"{device.rr_graph.num_nodes} RR nodes"
+        ),
+        "reference_seconds": ref_s,
+        "fast_seconds": fast_s,
+        "speedup": ref_s / fast_s,
+        "ops_per_sec_reference": len(netlist.nets) * ref.iterations / ref_s,
+        "ops_per_sec_fast": len(netlist.nets) * fast.iterations / fast_s,
+        "wirelength_reference": ref.wirelength,
+        "wirelength_fast": fast.wirelength,
+        "success_reference": ref.success,
+        "success_fast": fast.success,
+        "identical_outputs": identical,
+    }
+
+
+def main() -> int:
+    circuit, netlist, arch = _build_workload()
+
+    print("benchmarking simulation kernel ...")
+    sim = bench_simulation(circuit)
+    print("benchmarking placement kernel ...")
+    placement_result, placement = bench_placement(netlist, arch)
+    print("benchmarking routing kernel ...")
+    routing_result = bench_routing(netlist, arch, placement)
+
+    report = {
+        "config": {
+            "fp_format": {"we": BENCH_FORMAT.we, "wf": BENCH_FORMAT.wf},
+            "sim_patterns": SIM_PATTERNS,
+            "place_seed": PLACE_SEED,
+            "place_effort": PLACE_EFFORT,
+            "channel_width": CHANNEL_WIDTH,
+            "python": platform.python_version(),
+        },
+        "kernels": {
+            "simulation": sim,
+            "placement": placement_result,
+            "routing": routing_result,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    ok = True
+    for name, entry in report["kernels"].items():
+        flag = "OK " if entry["identical_outputs"] else "MISMATCH"
+        ok = ok and entry["identical_outputs"]
+        print(
+            f"{name:11s} {flag} speedup={entry['speedup']:6.2f}x  "
+            f"ref={entry['reference_seconds'] * 1000:8.1f}ms  "
+            f"fast={entry['fast_seconds'] * 1000:8.1f}ms"
+        )
+    print(f"wrote {RESULT_PATH}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

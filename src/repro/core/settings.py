@@ -96,8 +96,9 @@ class VCGRASettings:
     arch: VCGRAArchitecture
     pe_settings: Dict[GridPosition, PESettings] = field(default_factory=dict)
     vsb_settings: Dict[Tuple[int, int], VSBSettings] = field(default_factory=dict)
-    #: where each application input stream enters (input name -> (PE position, port))
-    input_bindings: Dict[str, Tuple[GridPosition, int]] = field(default_factory=dict)
+    #: where each application input stream enters; one stream may be broadcast
+    #: to several PE ports (input name -> [(PE position, port), ...])
+    input_bindings: Dict[str, List[Tuple[GridPosition, int]]] = field(default_factory=dict)
     #: which PE produces each application output (output name -> PE position)
     output_bindings: Dict[str, GridPosition] = field(default_factory=dict)
 

@@ -200,11 +200,9 @@ def _route_edges(
             if src_name is None:
                 continue
             if src_name in app.external_inputs:
-                if not arch.is_entry_row(dst) and placement[name][0] != 0:
-                    # External streams may also be broadcast to deeper rows; the
-                    # overlay provides a dedicated input column for them.
-                    pass
-                settings.input_bindings[src_name] = (dst, port)
+                # External streams may feed several PEs (broadcast through the
+                # overlay's dedicated input column): record every binding.
+                settings.input_bindings.setdefault(src_name, []).append((dst, port))
                 continue
             src = placement[src_name]
             if src not in arch.upstream_of(dst):

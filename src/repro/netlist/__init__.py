@@ -10,10 +10,12 @@ from .boolean import (
     wire_source,
 )
 from .circuit import Circuit, CircuitStats, Op
+from .engine import CompiledCircuit, compile_circuit
 from .hdl import Bus, Design
 from .library import GATE_EVAL, GATE_COST, eval_gate, gate_truth_table
 from .simulate import (
     simulate_patterns,
+    simulate_patterns_reference,
     simulate_single,
     simulate_words,
     random_patterns,
@@ -37,7 +39,10 @@ __all__ = [
     "GATE_COST",
     "eval_gate",
     "gate_truth_table",
+    "CompiledCircuit",
+    "compile_circuit",
     "simulate_patterns",
+    "simulate_patterns_reference",
     "simulate_single",
     "simulate_words",
     "random_patterns",

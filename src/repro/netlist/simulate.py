@@ -11,6 +11,19 @@ Simulation serves three purposes in the reproduction:
 
 Patterns are packed into Python integers (one bit per pattern), so a single
 pass over the netlist evaluates an arbitrary number of input patterns.
+
+Two evaluation paths live behind the same API:
+
+* the **compiled engine** (default) -- :mod:`repro.netlist.engine` compiles
+  the circuit once (straight-line big-integer codegen, plus a vectorized
+  NumPy ``uint64`` bit-plane backend) and reuses the cached artifact on
+  every call, and
+* the **reference interpreter** (``engine="reference"``) -- the original
+  per-node dict-dispatch loop, kept as the golden model for equivalence
+  tests and as the baseline the hot-path benchmark measures against.
+
+Both are bit-identical; see ``PERFORMANCE.md`` for the design and measured
+speedups.
 """
 
 from __future__ import annotations
@@ -20,10 +33,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from .circuit import Circuit, Op
+from .engine import compile_circuit, pack_bits_to_int, unpack_int_to_bits
 from .library import eval_gate
 
 __all__ = [
     "simulate_patterns",
+    "simulate_patterns_reference",
     "simulate_words",
     "simulate_single",
     "random_patterns",
@@ -40,6 +55,7 @@ def simulate_patterns(
     input_patterns: Mapping[int, int],
     num_patterns: int,
     param_patterns: Optional[Mapping[int, int]] = None,
+    engine: str = "compiled",
 ) -> Dict[int, int]:
     """Simulate the circuit on packed pattern vectors.
 
@@ -56,12 +72,32 @@ def simulate_patterns(
         Values for parameter nodes, same packing.  Parameters left
         unspecified default to 0 (matching the behaviour of an unprogrammed
         settings register).
+    engine:
+        ``"compiled"`` (default) runs the cached vectorized engine;
+        ``"reference"`` runs the original per-node interpreter.  Both return
+        bit-identical results.
 
     Returns
     -------
     dict
         Mapping from node id to packed output vector for every node.
     """
+    if engine == "reference":
+        return simulate_patterns_reference(
+            circuit, input_patterns, num_patterns, param_patterns
+        )
+    if engine != "compiled":
+        raise ValueError(f"unknown simulation engine {engine!r}")
+    return compile_circuit(circuit).simulate(input_patterns, num_patterns, param_patterns)
+
+
+def simulate_patterns_reference(
+    circuit: Circuit,
+    input_patterns: Mapping[int, int],
+    num_patterns: int,
+    param_patterns: Optional[Mapping[int, int]] = None,
+) -> Dict[int, int]:
+    """Original per-node interpreter (golden model for the compiled engine)."""
     mask = _pattern_mask(num_patterns)
     values: List[int] = [0] * len(circuit.ops)
     params = dict(param_patterns or {})
@@ -121,6 +157,37 @@ def _bus_nodes(circuit: Circuit, prefix: str, kind: str) -> List[int]:
     return [found[i] for i in sorted(found)]
 
 
+def _pack_word_bits(vals: Sequence[int], nodes: Sequence[int]) -> Dict[int, int]:
+    """Packed per-bit pattern integers for a word-level input bus.
+
+    Bit ``k`` of each word drives ``nodes[k]``; the per-pattern bits are
+    packed with ``np.packbits`` instead of a Python loop over patterns.
+    Buses wider than 64 bits (shift counts >= 64 are undefined for
+    ``np.uint64``) and negative/oversized words use the exact big-integer
+    fallback.
+    """
+    packed: Dict[int, int] = {}
+    if not vals or not nodes:
+        return packed
+    lo, hi = min(vals), max(vals)
+    if 0 <= lo and hi < (1 << 63) and len(nodes) <= 64:
+        arr = np.asarray([int(v) for v in vals], dtype=np.uint64)
+        for bit, nid in enumerate(nodes):
+            bits = (arr >> np.uint64(bit)) & np.uint64(1)
+            value = pack_bits_to_int(bits)
+            if value:
+                packed[nid] = value
+    else:  # arbitrary-precision fallback
+        for bit, nid in enumerate(nodes):
+            value = 0
+            for p, word in enumerate(vals):
+                if (int(word) >> bit) & 1:
+                    value |= 1 << p
+            if value:
+                packed[nid] = value
+    return packed
+
+
 def simulate_words(
     circuit: Circuit,
     input_words: Mapping[str, Sequence[int]],
@@ -137,18 +204,14 @@ def simulate_words(
     words = {name: list(vals) for name, vals in input_words.items()}
     num_patterns = max((len(v) for v in words.values()), default=1)
     mask = _pattern_mask(num_patterns)
+    engine = compile_circuit(circuit)
 
     in_pat: Dict[int, int] = {}
     for name, vals in words.items():
         nodes = _bus_nodes(circuit, name, "input")
         if not nodes:
             raise KeyError(f"no input bus named {name!r}")
-        for bit, nid in enumerate(nodes):
-            packed = 0
-            for p, word in enumerate(vals):
-                if (word >> bit) & 1:
-                    packed |= 1 << p
-            in_pat[nid] = packed
+        in_pat.update(_pack_word_bits(vals, nodes))
 
     par_pat: Dict[int, int] = {}
     for name, word in (param_words or {}).items():
@@ -156,9 +219,9 @@ def simulate_words(
         if not nodes:
             raise KeyError(f"no parameter bus named {name!r}")
         for bit, nid in enumerate(nodes):
-            par_pat[nid] = mask if (word >> bit) & 1 else 0
+            par_pat[nid] = mask if (int(word) >> bit) & 1 else 0
 
-    values = simulate_patterns(circuit, in_pat, num_patterns, par_pat)
+    values = engine.simulate_values(in_pat, num_patterns, par_pat)
 
     # Group outputs into buses by name prefix.
     out_buses: Dict[str, Dict[int, int]] = {}
@@ -172,10 +235,16 @@ def simulate_words(
     result: Dict[str, np.ndarray] = {}
     for prefix, bits in out_buses.items():
         arr = np.zeros(num_patterns, dtype=object)
-        for idx, nid in bits.items():
-            packed = values[nid]
-            for p in range(num_patterns):
-                if (packed >> p) & 1:
+        if bits and max(bits) < 63:
+            acc = np.zeros(num_patterns, dtype=np.uint64)
+            for idx, nid in bits.items():
+                plane_bits = unpack_int_to_bits(values[nid], num_patterns)
+                acc |= plane_bits.astype(np.uint64) << np.uint64(idx)
+            arr[:] = [int(w) for w in acc]
+        else:  # very wide buses: assemble with arbitrary-precision ints
+            for idx, nid in bits.items():
+                plane_bits = unpack_int_to_bits(values[nid], num_patterns)
+                for p in np.flatnonzero(plane_bits):
                     arr[p] = int(arr[p]) | (1 << idx)
         result[prefix] = arr
     return result
@@ -189,11 +258,8 @@ def random_patterns(
     pats: Dict[int, int] = {}
     for nid in circuit.input_ids():
         bits = rng.integers(0, 2, size=num_patterns)
-        packed = 0
-        for p, b in enumerate(bits):
-            if b:
-                packed |= 1 << p
-        pats[nid] = packed
+        packed_bytes = np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+        pats[nid] = int.from_bytes(packed_bytes, "little")
     return pats
 
 
@@ -206,11 +272,13 @@ def exhaustive_patterns(input_ids: Sequence[int]) -> Dict[int, int]:
     """
     n = len(input_ids)
     num_patterns = 1 << n
+    all_ones = (1 << num_patterns) - 1
     pats: Dict[int, int] = {}
     for i, nid in enumerate(input_ids):
-        packed = 0
-        for p in range(num_patterns):
-            if (p >> i) & 1:
-                packed |= 1 << p
-        pats[nid] = packed
+        # Periodic vector 0^(2^i) 1^(2^i) ...: the classic truth-table mask.
+        block = 1 << i
+        ones_block = ((1 << block) - 1) << block
+        period = block * 2
+        repeat = all_ones // ((1 << period) - 1) if num_patterns >= period else 1
+        pats[nid] = ones_block * repeat
     return pats

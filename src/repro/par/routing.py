@@ -4,6 +4,21 @@ Re-implementation of the VPR/TPaR router: every net is routed over the
 routing-resource graph with an A*-guided Dijkstra search; congestion is
 resolved by iteratively re-routing nets through overused nodes while the
 present-congestion penalty grows and a history cost accumulates (PathFinder).
+
+Two search kernels live behind :func:`route`:
+
+* ``kernel="fast"`` (default) -- the per-node congestion cost
+  ``(base + history) * present_factor`` is precomputed as a single NumPy
+  vector at the start of every PathFinder iteration and refreshed entry-wise
+  on rip-up/commit (the only events that change occupancy); the wavefront
+  expansion runs over plain Python lists (CSR adjacency, coordinates, costs),
+  avoiding the per-edge function call and NumPy scalar-indexing overhead of
+  the original inner loop.
+* ``kernel="reference"`` -- the original implementation calling
+  ``node_cost()`` per expanded edge; kept as the benchmark baseline.
+
+Both kernels perform identical floating-point operations in the same order,
+so they expand identical wavefronts and return identical routes.
 """
 
 from __future__ import annotations
@@ -82,6 +97,13 @@ def _terminal_nodes(
     return src_of, sink_of
 
 
+def _base_cost_array(rr: RRGraph) -> np.ndarray:
+    base_cost = np.empty(rr.num_nodes, dtype=np.float64)
+    for t, c in _BASE_COST.items():
+        base_cost[rr.node_type == t] = c
+    return base_cost
+
+
 def route(
     netlist: PhysicalNetlist,
     placement: Placement,
@@ -91,15 +113,208 @@ def route(
     pres_fac_mult: float = 1.8,
     hist_fac: float = 0.4,
     astar_fac: float = 1.1,
+    kernel: str = "fast",
 ) -> RoutingResult:
-    """Route all nets of a placed netlist on the device's RR graph."""
+    """Route all nets of a placed netlist on the device's RR graph.
+
+    ``kernel`` selects the wavefront implementation (see module docstring);
+    both kernels return identical routes.
+    """
+    if kernel == "reference":
+        return _route_reference(
+            netlist, placement, device,
+            max_iterations=max_iterations, pres_fac_init=pres_fac_init,
+            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+        )
+    if kernel != "fast":
+        raise ValueError(f"unknown routing kernel {kernel!r}")
+
     rr = device.rr_graph
     num_nodes = rr.num_nodes
 
-    base_cost = np.empty(num_nodes, dtype=np.float64)
-    for t, c in _BASE_COST.items():
-        base_cost[rr.node_type == t] = c
+    base_cost = _base_cost_array(rr)
+    cap_arr = rr.node_capacity.astype(np.int32)
+    history = np.zeros(num_nodes, dtype=np.float64)
 
+    # Flat Python mirrors of the RR-graph arrays for the search inner loop.
+    cap = cap_arr.tolist()
+    ntype = rr.node_type.tolist()
+    xs = rr.node_x.tolist()
+    ys = rr.node_y.tolist()
+    ptr = rr.edge_ptr.tolist()
+    dst = rr.edge_dst.tolist()
+    adj = [dst[ptr[i]: ptr[i + 1]] for i in range(num_nodes)]
+    occupancy = [0] * num_nodes
+
+    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+
+    routes: Dict[int, NetRoute] = {}
+    net_terms: Dict[int, Tuple[int, List[int]]] = {}
+    for net in netlist.nets:
+        net_terms[net.id] = (src_of[net.driver], [sink_of[s] for s in net.sinks])
+
+    # Search bookkeeping with generation stamps (avoids clearing big arrays).
+    visited_gen = [0] * num_nodes
+    cost_so_far = [0.0] * num_nodes
+    prev_node = [-1] * num_nodes
+    generation = 0
+
+    SINK = RRNodeType.SINK
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    # Per-iteration congestion costs: cost[n] = (base + history)[n] * present.
+    # Refreshed vectorized at iteration start, entry-wise on occupancy change.
+    bh: List[float] = []
+    cost: List[float] = []
+    pres_fac = pres_fac_init
+
+    def bump(n: int, d: int) -> None:
+        occupancy[n] += d
+        over = occupancy[n] + 1 - cap[n]
+        cost[n] = bh[n] * (1.0 + pres_fac * over) if over > 0 else bh[n]
+
+    def route_net(net_id: int) -> NetRoute:
+        nonlocal generation
+        source, sinks = net_terms[net_id]
+        tree: List[int] = [source]
+        tree_set: Set[int] = {source}
+        # Route sinks farthest-first (VPR heuristic).
+        sx, sy = xs[source], ys[source]
+        order = sorted(sinks, key=lambda t: -(abs(xs[t] - sx) + abs(ys[t] - sy)))
+        for target in order:
+            if target in tree_set:
+                bump(target, 1)
+                continue
+            generation += 1
+            gen = generation
+            tx, ty = xs[target], ys[target]
+            heap: List[Tuple[float, float, int]] = []
+            for n in tree:
+                h = (abs(xs[n] - tx) + abs(ys[n] - ty)) * astar_fac
+                visited_gen[n] = gen
+                cost_so_far[n] = 0.0
+                prev_node[n] = -1
+                heappush(heap, (h, 0.0, n))
+            found = False
+            while heap:
+                _, g, n = heappop(heap)
+                if g > cost_so_far[n] + 1e-12:
+                    continue  # stale heap entry
+                if n == target:
+                    found = True
+                    break
+                for m in adj[n]:
+                    if ntype[m] == SINK and m != target:
+                        continue
+                    new_cost = g + cost[m]
+                    if visited_gen[m] != gen or new_cost < cost_so_far[m] - 1e-12:
+                        visited_gen[m] = gen
+                        cost_so_far[m] = new_cost
+                        prev_node[m] = n
+                        h = (abs(xs[m] - tx) + abs(ys[m] - ty)) * astar_fac
+                        heappush(heap, (new_cost + h, new_cost, m))
+            if not found:
+                raise RuntimeError(
+                    f"net {net_id} could not reach its sink; the device is too small "
+                    "or the channel width is insufficient even with congestion allowed"
+                )
+            # Backtrace and merge the new path into the route tree.
+            path = []
+            n = target
+            while n != -1 and n not in tree_set:
+                path.append(n)
+                n = prev_node[n]
+            for n in path:
+                tree_set.add(n)
+                tree.append(n)
+                bump(n, 1)
+        return NetRoute(net_id, tree)
+
+    def rip_up(net_route: NetRoute) -> None:
+        source = net_terms[net_route.net_id][0]
+        for n in net_route.nodes:
+            if n != source:
+                bump(n, -1)
+
+    iteration = 0
+    success = False
+    net_ids = [net.id for net in netlist.nets]
+
+    for iteration in range(1, max_iterations + 1):
+        # Refresh the congestion cost vector for this iteration's pres_fac
+        # and history (occupancy-driven entries are kept current by bump()).
+        occ_arr = np.asarray(occupancy, dtype=np.int32)
+        base_hist = base_cost + history
+        over_arr = occ_arr + 1 - cap_arr
+        cost_arr = np.where(over_arr > 0, base_hist * (1.0 + pres_fac * over_arr), base_hist)
+        bh = base_hist.tolist()
+        cost = cost_arr.tolist()
+
+        if iteration == 1:
+            targets = net_ids
+        else:
+            # Re-route only nets that currently use overused nodes.
+            targets = [
+                nid
+                for nid in net_ids
+                if any(occupancy[n] > cap[n] for n in routes[nid].nodes)
+            ]
+        for nid in targets:
+            if nid in routes:
+                rip_up(routes[nid])
+            routes[nid] = route_net(nid)
+
+        occ_arr = np.asarray(occupancy, dtype=np.int32)
+        over_nodes = int(np.count_nonzero(occ_arr > cap_arr))
+        if over_nodes == 0:
+            success = True
+            break
+        history += hist_fac * np.maximum(occ_arr - cap_arr, 0)
+        pres_fac *= pres_fac_mult
+
+    occ_arr = np.asarray(occupancy, dtype=np.int32)
+    return _assemble_result(rr, routes, occ_arr, cap_arr, success, iteration)
+
+
+def _assemble_result(
+    rr: RRGraph,
+    routes: Dict[int, NetRoute],
+    occupancy: np.ndarray,
+    capacity: np.ndarray,
+    success: bool,
+    iteration: int,
+) -> RoutingResult:
+    wire_mask = (rr.node_type == RRNodeType.CHANX) | (rr.node_type == RRNodeType.CHANY)
+    wirelength = 0
+    for r in routes.values():
+        wirelength += sum(1 for n in r.nodes if wire_mask[n])
+    max_chan_occ = int(occupancy[wire_mask].max()) if wire_mask.any() else 0
+    return RoutingResult(
+        routes=routes,
+        success=success,
+        iterations=iteration,
+        wirelength=wirelength,
+        overused_nodes=int(np.count_nonzero(occupancy > capacity)),
+        max_channel_occupancy=max_chan_occ,
+    )
+
+
+def _route_reference(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    device: Device,
+    max_iterations: int = 25,
+    pres_fac_init: float = 0.6,
+    pres_fac_mult: float = 1.8,
+    hist_fac: float = 0.4,
+    astar_fac: float = 1.1,
+) -> RoutingResult:
+    """Original router: per-edge ``node_cost()`` calls (benchmark baseline)."""
+    rr = device.rr_graph
+    num_nodes = rr.num_nodes
+
+    base_cost = _base_cost_array(rr)
     capacity = rr.node_capacity.astype(np.int32)
     occupancy = np.zeros(num_nodes, dtype=np.int32)
     history = np.zeros(num_nodes, dtype=np.float64)
@@ -112,14 +327,10 @@ def route(
     src_of, sink_of = _terminal_nodes(netlist, placement, rr)
 
     routes: Dict[int, NetRoute] = {}
-    # Per-net terminal list: (source node, [sink nodes])
     net_terms: Dict[int, Tuple[int, List[int]]] = {}
     for net in netlist.nets:
-        source = src_of[net.driver]
-        sinks = [sink_of[s] for s in net.sinks]
-        net_terms[net.id] = (source, sinks)
+        net_terms[net.id] = (src_of[net.driver], [sink_of[s] for s in net.sinks])
 
-    # Search bookkeeping with generation stamps (avoids clearing big arrays).
     visited_gen = np.zeros(num_nodes, dtype=np.int64)
     cost_so_far = np.zeros(num_nodes, dtype=np.float64)
     prev_node = np.full(num_nodes, -1, dtype=np.int64)
@@ -135,7 +346,6 @@ def route(
         source, sinks = net_terms[net_id]
         tree: List[int] = [source]
         tree_set: Set[int] = {source}
-        # Route sinks farthest-first (VPR heuristic).
         sx, sy = int(node_x[source]), int(node_y[source])
         order = sorted(
             sinks,
@@ -180,7 +390,6 @@ def route(
                     f"net {net_id} could not reach its sink; the device is too small "
                     "or the channel width is insufficient even with congestion allowed"
                 )
-            # Backtrace and merge the new path into the route tree.
             path = []
             n = target
             while n != -1 and n not in tree_set:
@@ -206,7 +415,6 @@ def route(
         if iteration == 1:
             targets = net_ids
         else:
-            # Re-route only nets that currently use overused nodes.
             over = occupancy > capacity
             targets = [
                 nid
@@ -225,17 +433,4 @@ def route(
         history += hist_fac * np.maximum(occupancy - capacity, 0)
         pres_fac *= pres_fac_mult
 
-    wire_mask = (rr.node_type == RRNodeType.CHANX) | (rr.node_type == RRNodeType.CHANY)
-    wirelength = 0
-    for r in routes.values():
-        wirelength += sum(1 for n in r.nodes if wire_mask[n])
-    max_chan_occ = int(occupancy[wire_mask].max()) if wire_mask.any() else 0
-
-    return RoutingResult(
-        routes=routes,
-        success=success,
-        iterations=iteration,
-        wirelength=wirelength,
-        overused_nodes=int(np.count_nonzero(occupancy > capacity)),
-        max_channel_occupancy=max_chan_occ,
-    )
+    return _assemble_result(rr, routes, occupancy, capacity, success, iteration)

@@ -50,10 +50,15 @@ class VCGRASimulator:
         for pos, pe_settings in settings.pe_settings.items():
             if pe_settings.enabled:
                 self.units[pos] = MACUnit(self.fmt, pe_settings)
-        # Invert input bindings: (pe position, port) -> stream name.
-        self.port_stream: Dict[Tuple[GridPosition, int], str] = {
-            binding: name for name, binding in settings.input_bindings.items()
-        }
+        # Invert input bindings: (pe position, port) -> stream name.  A stream
+        # may be broadcast to several ports; legacy single-tuple bindings are
+        # accepted for convenience.
+        self.port_stream: Dict[Tuple[GridPosition, int], str] = {}
+        for name, bindings in settings.input_bindings.items():
+            if isinstance(bindings, tuple):
+                bindings = [bindings]
+            for binding in bindings:
+                self.port_stream[binding] = name
         # VSB routes: (pe position, port) -> upstream PE.
         self.port_route: Dict[Tuple[GridPosition, int], GridPosition] = {}
         for vsb in settings.vsb_settings.values():

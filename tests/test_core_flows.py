@@ -219,6 +219,34 @@ class TestVCGRAToolflow:
         assert settings.coefficient == SMALL.encode(0.5)
         assert settings.op == PEOp.MAC
 
+    def test_broadcast_input_binds_every_consumer(self):
+        # Regression: one external stream feeding multiple PEs used to keep
+        # only the last binding, silently starving the other consumers.
+        arch = VCGRAArchitecture(rows=2, cols=4,
+                                 pe_spec=ProcessingElementSpec(fmt=SMALL))
+        app = ApplicationGraph("broadcast", external_inputs=["x"])
+        for i in range(3):
+            app.add_operation(PEOperation(name=f"m{i}", op=PEOp.MUL,
+                                          coefficient=float(i + 1),
+                                          sample_input="x"))
+        app.add_output("y0", "m0")
+        app.add_output("y1", "m1")
+        app.add_output("y2", "m2")
+        report = run_vcgra_toolflow(app, arch)
+        bindings = report.settings.input_bindings["x"]
+        assert len(bindings) == 3
+        assert {report.placement[f"m{i}"] for i in range(3)} == {
+            pos for pos, _port in bindings
+        }
+        # The simulator must drive all three consumers from the one stream.
+        from repro.vsim.simulator import VCGRASimulator
+
+        sim = VCGRASimulator(arch, report.settings)
+        trace = sim.run({"x": [2.0]})
+        assert trace.outputs["y0"][0] == pytest.approx(2.0, rel=1e-3)
+        assert trace.outputs["y1"][0] == pytest.approx(4.0, rel=1e-3)
+        assert trace.outputs["y2"][0] == pytest.approx(6.0, rel=1e-3)
+
     def test_too_deep_application_rejected(self):
         arch = VCGRAArchitecture(rows=2, cols=2,
                                  pe_spec=ProcessingElementSpec(fmt=SMALL))

@@ -128,7 +128,7 @@ class TestSimulatorConfiguration:
         pe.op = PEOp.MAC
         pe.coefficient = FMT.encode(1.0)
         pe.count_limit = 8
-        settings.input_bindings["x"] = ((0, 0), 0)
+        settings.input_bindings["x"] = [((0, 0), 0)]
         settings.output_bindings["y"] = (0, 0)
         sim = VCGRASimulator(arch, settings)
         first = sim.run({"x": [1.0, 1.0]}).outputs["y"][-1]
