@@ -1,6 +1,6 @@
 """Hot-path kernel benchmark: simulation, placement, routing.
 
-Times the three CAD hot paths on fixed seeds, comparing the reworked kernels
+Times the CAD hot paths on fixed seeds, comparing the reworked kernels
 against the seed ("reference") implementations that are kept behind the same
 APIs, and writes a machine-readable ``BENCH_hotpaths.json`` at the repo root
 so future PRs have a perf trajectory.
@@ -9,25 +9,42 @@ Run with::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py
 
-The workload is the paper's conventional Processing Element (reduced
-FloPoCo format, same scale as the default benchmark harness).  Every
-comparison also checks result fidelity: simulation outputs must be
-bit-identical and placement/routing quality metrics (HPWL, wirelength,
-success) must be unchanged for the fixed seeds.
+The workload is the paper's conventional Processing Element (reduced FloPoCo
+format by default; ``REPRO_FULL=1`` switches to the paper's 6/26 format and
+skips the slowest reference baselines so the nightly run stays bounded).
+
+Three comparisons are made per PR 2:
+
+* **simulation** -- compiled engine vs legacy interpreter, bit-identical;
+* **placement** -- ``incremental`` vs ``reference`` (trajectory-identical)
+  and ``batched`` (PCG64 block randomness + O(1) window moves) vs
+  ``incremental`` at *matched quality*: the batched effort is chosen so its
+  mean HPWL across the seed sweep is within the quality band, and the
+  speedup is reported at that iso-quality point;
+* **routing** -- the directed incremental ``astar`` kernel vs the PR 1
+  ``fast`` kernel at the same routable channel width.  The benchmark first
+  finds the minimum routable width for the placement (the W=12 default of
+  the reduced format is *not* routable -- routing it only measured
+  non-convergence), records it as ``channel_width_used``, and checks the
+  astar route quality against the reference route.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_config import BENCH_FP_FORMAT, FULL_MODE
 
 from repro.core.pe import ProcessingElementSpec, build_pe_design
-from repro.flopoco.format import FPFormat
 from repro.fpga.architecture import auto_size
 from repro.fpga.device import build_device
 from repro.netlist.engine import compile_circuit
@@ -36,6 +53,8 @@ from repro.netlist.simulate import (
     simulate_patterns,
     simulate_patterns_reference,
 )
+from repro.par.cache import PaRCache
+from repro.par.metrics import minimum_channel_width
 from repro.par.netlist import from_mapped_network
 from repro.par.placement import place
 from repro.par.routing import route
@@ -44,18 +63,21 @@ from repro.techmap import map_conventional
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 
-BENCH_FORMAT = FPFormat(we=5, wf=10)
 SIM_PATTERNS = 1024
 SIM_REPEATS = 20
 SIM_REF_REPEATS = 5
-PLACE_SEED = 0
-PLACE_EFFORT = 0.25
-ROUTE_SEED = 0
-CHANNEL_WIDTH = 12
+PLACE_SEEDS = [0, 1, 2, 3, 4]
+PLACE_EFFORT = 0.25          #: effort of the reference/incremental kernels
+BATCHED_EFFORT = 0.1         #: iso-quality effort of the batched kernel
+PLACE_QUALITY_BAND = 1.02    #: batched mean HPWL must be <= band * incremental
+ROUTE_QUALITY_BAND = 1.05    #: astar wirelength must be <= band * reference
+ROUTE_SPEEDUP_FLOOR = 2.5    #: recorded astar-vs-fast floor (typical 2.5-3.4x)
+PLACE_SPEEDUP_FLOOR = 1.5    #: recorded batched-vs-incremental iso-quality floor
+CHANNEL_WIDTH = 12           #: starting point of the routable-width search
 
 
 def _build_workload():
-    spec = ProcessingElementSpec(fmt=BENCH_FORMAT, num_inputs=2, counter_width=4)
+    spec = ProcessingElementSpec(fmt=BENCH_FP_FORMAT, num_inputs=2, counter_width=4)
     circuit, _ = optimize(build_pe_design(spec).circuit)
     network = map_conventional(circuit)
     netlist = from_mapped_network(network)
@@ -65,6 +87,18 @@ def _build_workload():
         channel_width=CHANNEL_WIDTH,
     )
     return circuit, netlist, arch
+
+
+def _timed(fn, repeats=1):
+    """Best-of-N wall time (interleaved noise on shared CI boxes is real)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return result, best
 
 
 def bench_simulation(circuit):
@@ -91,18 +125,33 @@ def bench_simulation(circuit):
         "ops_per_sec_reference": node_evals / ref_s,
         "ops_per_sec_fast": node_evals / fast_s,
         "identical_outputs": ref == fast,
+        "ok": ref == fast,
     }
 
 
 def bench_placement(netlist, arch):
-    t0 = time.perf_counter()
-    ref = place(netlist, arch, seed=PLACE_SEED, effort=PLACE_EFFORT, kernel="reference")
-    ref_s = time.perf_counter() - t0
+    seed0 = PLACE_SEEDS[0]
+    ref, ref_s = _timed(
+        lambda: place(netlist, arch, seed=seed0, effort=PLACE_EFFORT, kernel="reference")
+    )
 
-    t0 = time.perf_counter()
-    fast = place(netlist, arch, seed=PLACE_SEED, effort=PLACE_EFFORT, kernel="incremental")
-    fast_s = time.perf_counter() - t0
+    inc_results, inc_times = [], []
+    bat_results, bat_times = [], []
+    for seed in PLACE_SEEDS:
+        r, dt = _timed(
+            lambda s=seed: place(netlist, arch, seed=s, effort=PLACE_EFFORT,
+                                 kernel="incremental")
+        )
+        inc_results.append(r)
+        inc_times.append(dt)
+        r, dt = _timed(
+            lambda s=seed: place(netlist, arch, seed=s, effort=BATCHED_EFFORT,
+                                 kernel="batched")
+        )
+        bat_results.append(r)
+        bat_times.append(dt)
 
+    fast = inc_results[0]
     identical = (
         fast.cost == ref.cost
         and fast.moves_attempted == ref.moves_attempted
@@ -112,55 +161,130 @@ def bench_placement(netlist, arch):
             for b, s in ref.placement.block_site.items()
         )
     )
+    exact_ints = all(
+        isinstance(r.cost, int) for r in [ref, *inc_results, *bat_results]
+    )
+    inc_hpwl = [r.cost for r in inc_results]
+    bat_hpwl = [r.cost for r in bat_results]
+    hpwl_ratio = statistics.mean(bat_hpwl) / statistics.mean(inc_hpwl)
+    batched_speedup = sum(inc_times) / sum(bat_times)
+    quality_ok = hpwl_ratio <= PLACE_QUALITY_BAND
+
     return {
         "workload": (
             f"{len(netlist.blocks)} blocks / {len(netlist.nets)} nets on "
-            f"{arch.width}x{arch.height}, seed={PLACE_SEED}, effort={PLACE_EFFORT}"
+            f"{arch.width}x{arch.height}, seeds={PLACE_SEEDS}, "
+            f"effort={PLACE_EFFORT} (batched iso-quality at {BATCHED_EFFORT})"
         ),
         "reference_seconds": ref_s,
-        "fast_seconds": fast_s,
-        "speedup": ref_s / fast_s,
-        "ops_per_sec_reference": ref.moves_attempted / ref_s,
-        "ops_per_sec_fast": fast.moves_attempted / fast_s,
+        "fast_seconds": inc_times[0],
+        "speedup": ref_s / inc_times[0],
         "hpwl_reference": ref.cost,
         "hpwl_fast": fast.cost,
         "identical_outputs": identical,
+        "exact_int_hpwl": exact_ints,
+        "batched": {
+            "effort": BATCHED_EFFORT,
+            "seconds_per_seed": bat_times,
+            "incremental_seconds_per_seed": inc_times,
+            "speedup_vs_incremental": batched_speedup,
+            "hpwl_per_seed": bat_hpwl,
+            "incremental_hpwl_per_seed": inc_hpwl,
+            "mean_hpwl_ratio": hpwl_ratio,
+            "quality_band": PLACE_QUALITY_BAND,
+            "quality_ok": quality_ok,
+        },
+        # The exit-code gate is correctness/quality only; wall-clock floors
+        # are recorded but machine-load dependent (see check_quality.py).
+        "speedup_floor_met": batched_speedup >= PLACE_SPEEDUP_FLOOR,
+        "ok": identical and exact_ints and quality_ok,
     }, fast.placement
 
 
 def bench_routing(netlist, arch, placement):
-    device = build_device(arch)
-
-    t0 = time.perf_counter()
-    ref = route(netlist, placement, device, kernel="reference")
-    ref_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    fast = route(netlist, placement, device, kernel="fast")
-    fast_s = time.perf_counter() - t0
-
-    identical = (
-        fast.success == ref.success
-        and fast.wirelength == ref.wirelength
-        and fast.iterations == ref.iterations
-        and all(fast.routes[k].nodes == r.nodes for k, r in ref.routes.items())
+    # The default benchmark width is not necessarily routable (at the reduced
+    # format's W=12 every kernel ends congested); find the minimum routable
+    # width for this placement and benchmark there.
+    workers = os.cpu_count() or 1
+    min_cw = minimum_channel_width(
+        netlist, placement, arch,
+        low=max(2, CHANNEL_WIDTH - 4), high=CHANNEL_WIDTH * 2,
+        max_router_iterations=15,
+        workers=min(workers, 4),
+        cache=PaRCache.from_env(),
     )
-    return {
+    width = min_cw.min_channel_width
+    device = build_device(arch.with_channel_width(width))
+    route(netlist, placement, device, kernel="astar", max_iterations=1)  # warm view
+
+    if FULL_MODE:
+        ref = None
+        ref_s = None
+    else:
+        ref, ref_s = _timed(lambda: route(netlist, placement, device, kernel="reference"))
+    # Interleave the fast/astar measurements so drifting machine load hits
+    # both kernels alike; keep the best of each.
+    fast = astar = None
+    fast_s = astar_s = None
+    for _ in range(3):
+        fast_i, dt_f = _timed(lambda: route(netlist, placement, device, kernel="fast"))
+        astar_i, dt_a = _timed(lambda: route(netlist, placement, device, kernel="astar"))
+        if fast_s is None or dt_f < fast_s:
+            fast, fast_s = fast_i, dt_f
+        if astar_s is None or dt_a < astar_s:
+            astar, astar_s = astar_i, dt_a
+
+    if ref is not None:
+        identical = (
+            fast.success == ref.success
+            and fast.wirelength == ref.wirelength
+            and fast.iterations == ref.iterations
+            and all(fast.routes[k].nodes == r.nodes for k, r in ref.routes.items())
+        )
+        wl_baseline = ref.wirelength
+    else:
+        identical = True  # fast == reference is asserted in the default run
+        wl_baseline = fast.wirelength
+
+    wl_ratio = astar.wirelength / wl_baseline
+    astar_speedup = fast_s / astar_s
+    baselines_converged = fast.success and (ref is None or ref.success)
+    quality_ok = astar.success and wl_ratio <= ROUTE_QUALITY_BAND
+
+    entry = {
         "workload": (
-            f"{len(netlist.nets)} nets, W={CHANNEL_WIDTH}, "
-            f"{device.rr_graph.num_nodes} RR nodes"
+            f"{len(netlist.nets)} nets, W={width} (min routable; "
+            f"W={CHANNEL_WIDTH} was congested), {device.rr_graph.num_nodes} RR nodes"
         ),
-        "reference_seconds": ref_s,
+        "channel_width_used": width,
+        "min_cw_attempts": {str(w): ok for w, ok in sorted(min_cw.attempts.items())},
         "fast_seconds": fast_s,
-        "speedup": ref_s / fast_s,
-        "ops_per_sec_reference": len(netlist.nets) * ref.iterations / ref_s,
-        "ops_per_sec_fast": len(netlist.nets) * fast.iterations / fast_s,
-        "wirelength_reference": ref.wirelength,
+        "astar_seconds": astar_s,
+        "speedup_astar_vs_fast": astar_speedup,
         "wirelength_fast": fast.wirelength,
-        "success_reference": ref.success,
+        "wirelength_astar": astar.wirelength,
+        "astar_wirelength_ratio": wl_ratio,
+        "iterations_fast": fast.iterations,
+        "iterations_astar": astar.iterations,
         "success_fast": fast.success,
+        "success_astar": astar.success,
         "identical_outputs": identical,
+        "quality_band": ROUTE_QUALITY_BAND,
+        "quality_ok": quality_ok,
+        "baselines_converged": baselines_converged,
+        "speedup_floor_met": astar_speedup >= ROUTE_SPEEDUP_FLOOR,
+        "ok": identical and quality_ok and baselines_converged,
     }
+    if ref is not None:
+        entry.update(
+            {
+                "reference_seconds": ref_s,
+                "speedup": ref_s / astar_s,
+                "wirelength_reference": ref.wirelength,
+                "success_reference": ref.success,
+            }
+        )
+    return entry
 
 
 def main() -> int:
@@ -168,18 +292,20 @@ def main() -> int:
 
     print("benchmarking simulation kernel ...")
     sim = bench_simulation(circuit)
-    print("benchmarking placement kernel ...")
+    print("benchmarking placement kernels ...")
     placement_result, placement = bench_placement(netlist, arch)
-    print("benchmarking routing kernel ...")
+    print("benchmarking routing kernels ...")
     routing_result = bench_routing(netlist, arch, placement)
 
     report = {
         "config": {
-            "fp_format": {"we": BENCH_FORMAT.we, "wf": BENCH_FORMAT.wf},
+            "fp_format": {"we": BENCH_FP_FORMAT.we, "wf": BENCH_FP_FORMAT.wf},
+            "full_mode": FULL_MODE,
             "sim_patterns": SIM_PATTERNS,
-            "place_seed": PLACE_SEED,
+            "place_seeds": PLACE_SEEDS,
             "place_effort": PLACE_EFFORT,
-            "channel_width": CHANNEL_WIDTH,
+            "batched_effort": BATCHED_EFFORT,
+            "channel_width_start": CHANNEL_WIDTH,
             "python": platform.python_version(),
         },
         "kernels": {
@@ -192,13 +318,29 @@ def main() -> int:
 
     ok = True
     for name, entry in report["kernels"].items():
-        flag = "OK " if entry["identical_outputs"] else "MISMATCH"
-        ok = ok and entry["identical_outputs"]
-        print(
-            f"{name:11s} {flag} speedup={entry['speedup']:6.2f}x  "
-            f"ref={entry['reference_seconds'] * 1000:8.1f}ms  "
-            f"fast={entry['fast_seconds'] * 1000:8.1f}ms"
-        )
+        flag = "OK " if entry["ok"] else "FAIL"
+        ok = ok and entry["ok"]
+        if name == "routing":
+            print(
+                f"{name:11s} {flag} astar={entry['astar_seconds'] * 1000:8.1f}ms "
+                f"fast={entry['fast_seconds'] * 1000:8.1f}ms "
+                f"speedup={entry['speedup_astar_vs_fast']:5.2f}x "
+                f"wl_ratio={entry['astar_wirelength_ratio']:.4f} "
+                f"W={entry['channel_width_used']}"
+            )
+        elif name == "placement":
+            b = entry["batched"]
+            print(
+                f"{name:11s} {flag} incremental speedup={entry['speedup']:5.2f}x; "
+                f"batched {b['speedup_vs_incremental']:5.2f}x at "
+                f"hpwl_ratio={b['mean_hpwl_ratio']:.4f}"
+            )
+        else:
+            print(
+                f"{name:11s} {flag} speedup={entry['speedup']:6.2f}x  "
+                f"ref={entry['reference_seconds'] * 1000:8.1f}ms  "
+                f"fast={entry['fast_seconds'] * 1000:8.1f}ms"
+            )
     print(f"wrote {RESULT_PATH}")
     return 0 if ok else 1
 

@@ -1,0 +1,86 @@
+"""Quality gate over ``BENCH_hotpaths.json`` for the nightly REPRO_FULL run.
+
+Fails (exit 1) when the benchmark shows
+
+* routing non-convergence (the astar kernel did not reach ``success``),
+* a quality regression beyond 10% -- astar wirelength vs the reference
+  route, or batched-placement mean HPWL vs the incremental kernel,
+* a broken bit-identity claim (compiled simulation vs interpreter, or the
+  ``fast``/``incremental`` kernels vs their references).
+
+The thresholds here are looser than the in-benchmark ``ok`` flags on
+purpose: the nightly gate is about catching real regressions at paper
+scale, not about re-asserting the speedup floors measured on quiet
+machines.
+
+Run with::
+
+    python benchmarks/check_quality.py [path/to/BENCH_hotpaths.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REGRESSION_BAND = 1.10  # >10% quality loss fails the nightly
+
+
+def check(report: dict) -> list:
+    problems = []
+    kernels = report.get("kernels", {})
+
+    sim = kernels.get("simulation", {})
+    if not sim.get("identical_outputs", False):
+        problems.append("simulation: compiled engine no longer bit-identical")
+
+    placement = kernels.get("placement", {})
+    if not placement.get("identical_outputs", False):
+        problems.append("placement: incremental kernel diverged from reference")
+    if not placement.get("exact_int_hpwl", False):
+        problems.append("placement: HPWL accounting is no longer exact-int")
+    batched = placement.get("batched", {})
+    ratio = batched.get("mean_hpwl_ratio")
+    if ratio is None:
+        problems.append("placement: batched quality baseline missing")
+    elif ratio > REGRESSION_BAND:
+        problems.append(
+            f"placement: batched mean HPWL {ratio:.3f}x of incremental "
+            f"(> {REGRESSION_BAND}x)"
+        )
+
+    routing = kernels.get("routing", {})
+    if not routing.get("success_astar", False):
+        problems.append("routing: astar kernel did not converge (success_astar false)")
+    if not routing.get("success_fast", False):
+        problems.append("routing: fast kernel did not converge at the chosen width")
+    if not routing.get("identical_outputs", False):
+        problems.append("routing: fast kernel diverged from reference")
+    wl_ratio = routing.get("astar_wirelength_ratio")
+    if wl_ratio is None:
+        problems.append("routing: astar wirelength ratio missing")
+    elif wl_ratio > REGRESSION_BAND:
+        problems.append(
+            f"routing: astar wirelength {wl_ratio:.3f}x of baseline "
+            f"(> {REGRESSION_BAND}x)"
+        )
+    return problems
+
+
+def main(argv) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+    )
+    report = json.loads(path.read_text())
+    problems = check(report)
+    if problems:
+        for p in problems:
+            print(f"QUALITY REGRESSION: {p}")
+        return 1
+    print(f"{path.name}: no quality regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -125,8 +125,14 @@ def run_pe_flow(
     router_iterations: int = 25,
     find_min_channel_width: bool = False,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> PEFlowResult:
-    """Push a circuit through one complete flow (synthesis -> mapping -> PaR)."""
+    """Push a circuit through one complete flow (synthesis -> mapping -> PaR).
+
+    ``workers`` parallelizes the minimum-channel-width probes of the PaR
+    step over a process pool; route/placement results are memoized on disk
+    when the ``REPRO_PAR_CACHE`` environment variable names a directory.
+    """
     elapsed: Dict[str, float] = {}
 
     t0 = time.perf_counter()
@@ -151,6 +157,7 @@ def run_pe_flow(
             router_iterations=router_iterations,
             find_min_channel_width=find_min_channel_width,
             seed=seed,
+            workers=workers,
         )
         elapsed["place_and_route"] = time.perf_counter() - t0
 
@@ -172,6 +179,7 @@ def compare_pe_flows(
     router_iterations: int = 25,
     find_min_channel_width: bool = False,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> FlowComparison:
     """Run both flows on the same Processing Element and compare them (Table I).
 
@@ -190,6 +198,7 @@ def compare_pe_flows(
         router_iterations=router_iterations,
         find_min_channel_width=find_min_channel_width,
         seed=seed,
+        workers=workers,
     )
     parameterized = run_pe_flow(
         circuit,
@@ -200,5 +209,6 @@ def compare_pe_flows(
         router_iterations=router_iterations,
         find_min_channel_width=find_min_channel_width,
         seed=seed,
+        workers=workers,
     )
     return FlowComparison(conventional=conventional, parameterized=parameterized)

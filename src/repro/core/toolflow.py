@@ -106,7 +106,8 @@ class ApplicationGraph:
             level_of(name)
         return levels
 
-    def validate(self) -> None:
+    def validate(self) -> Dict[str, int]:
+        """Check the graph and return its levelization (computed once)."""
         for op in self.operations.values():
             for inp in op.input_names():
                 if inp not in self.operations and inp not in self.external_inputs:
@@ -118,7 +119,7 @@ class ApplicationGraph:
         for out, src in self.outputs.items():
             if src not in self.operations:
                 raise VCGRAToolflowError(f"output {out!r} reads unknown operation {src!r}")
-        self.levelize()
+        return self.levelize()
 
 
 @dataclass
@@ -228,8 +229,7 @@ def run_vcgra_toolflow(
     fmt: FPFormat = arch.pe_spec.fmt
 
     t0 = time.perf_counter()
-    app.validate()
-    levels = app.levelize()
+    levels = app.validate()
     t_synth = time.perf_counter() - t0
 
     t0 = time.perf_counter()

@@ -27,7 +27,7 @@ import numpy as np
 
 from .architecture import FPGAArchitecture
 
-__all__ = ["RRNodeType", "RRGraph", "build_rr_graph"]
+__all__ = ["RRNodeType", "RRGraph", "RouterSearchView", "build_rr_graph"]
 
 
 class RRNodeType:
@@ -90,6 +90,74 @@ class RRGraph:
             f"{t}({int(self.node_x[node])},{int(self.node_y[node])},"
             f"t={int(self.node_track[node])})"
         )
+
+    def search_view(self) -> "RouterSearchView":
+        """Precomputed flat-array view of the graph for the directed router.
+
+        Built once per graph and cached; repeated :func:`repro.par.routing.route`
+        calls on the same device (PathFinder iterations, benchmark reruns) share
+        it.
+        """
+        view = self.__dict__.get("_search_view")
+        if view is None:
+            view = RouterSearchView(self)
+            self.__dict__["_search_view"] = view
+        return view
+
+
+class RouterSearchView:
+    """Flat Python-list mirrors of an :class:`RRGraph` for wavefront search.
+
+    The directed (A*) router expands exclusively over SOURCE/OPIN/CHANX/CHANY
+    nodes: IPIN and SINK successors are stripped from the adjacency here, and
+    each sink instead exposes an *entry map* ``wire -> [ipins]`` derived from
+    the reverse edges, so the search completes on the first wire adjacent to
+    the target block instead of flooding every input pin it passes.  The node
+    coordinates double as the admissible geometric lookahead: every remaining
+    unit of Manhattan distance to the target costs at least one unit-length
+    wire of base cost 1.0.
+    """
+
+    def __init__(self, rr: RRGraph) -> None:
+        self.rr = rr
+        self.xs: List[int] = rr.node_x.tolist()
+        self.ys: List[int] = rr.node_y.tolist()
+        self.types: List[int] = rr.node_type.tolist()
+        self.capacity: List[int] = rr.node_capacity.tolist()
+
+        ptr = rr.edge_ptr.tolist()
+        dst = rr.edge_dst.tolist()
+        types = self.types
+        IPIN, SINK = RRNodeType.IPIN, RRNodeType.SINK
+        self.adj_search: List[List[int]] = [
+            [m for m in dst[ptr[i]: ptr[i + 1]] if types[m] != IPIN and types[m] != SINK]
+            for i in range(rr.num_nodes)
+        ]
+
+        # Reverse CSR (for per-sink entry maps, built lazily below).
+        order = np.argsort(rr.edge_dst, kind="stable")
+        self._rev_src = np.repeat(
+            np.arange(rr.num_nodes, dtype=np.int32),
+            np.diff(rr.edge_ptr).astype(np.int64),
+        )[order]
+        self._rev_ptr = np.zeros(rr.num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rr.edge_dst, minlength=rr.num_nodes), out=self._rev_ptr[1:])
+        self._entries: Dict[int, Dict[int, List[int]]] = {}
+
+    def _in_edges(self, node: int) -> List[int]:
+        lo, hi = int(self._rev_ptr[node]), int(self._rev_ptr[node + 1])
+        return self._rev_src[lo:hi].tolist()
+
+    def entries_of(self, sink: int) -> Dict[int, List[int]]:
+        """Map ``wire -> [ipins]`` of every wire that can enter ``sink``."""
+        entry = self._entries.get(sink)
+        if entry is None:
+            entry = {}
+            for ipin in self._in_edges(sink):
+                for wire in self._in_edges(ipin):
+                    entry.setdefault(wire, []).append(ipin)
+            self._entries[sink] = entry
+        return entry
 
 
 class _Builder:

@@ -1,6 +1,7 @@
 """TPaR-style physical CAD: placement (TPLACE), routing (TROUTE), metrics, timing."""
 
-from .flow import PaRResult, place_and_route
+from .cache import PaRCache
+from .flow import PaRResult, best_placement, place_and_route, placement_sweep
 from .metrics import MinChannelWidthResult, channel_occupancy, minimum_channel_width
 from .netlist import Block, Net, PhysicalNetlist, from_mapped_network
 from .placement import Placement, PlacementResult, hpwl, place, random_placement
@@ -8,8 +9,11 @@ from .routing import NetRoute, RoutingResult, route
 from .timing import TimingReport, analyze_timing
 
 __all__ = [
+    "PaRCache",
     "PaRResult",
     "place_and_route",
+    "placement_sweep",
+    "best_placement",
     "MinChannelWidthResult",
     "channel_occupancy",
     "minimum_channel_width",

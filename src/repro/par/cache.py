@@ -1,0 +1,152 @@
+"""On-disk result cache for place-and-route experiments.
+
+The Table I/II evaluations and the reconfiguration benchmarks route the same
+(netlist, placement, architecture) triples over and over -- a
+`minimum_channel_width` binary search alone routes the design at half a dozen
+widths, and every harness re-run repeats all of it.  This module provides a
+small content-addressed JSON cache so those results are computed once:
+
+* keys are SHA-256 fingerprints of the *semantic* inputs (block kinds and net
+  connectivity, placement sites, architecture parameters, router/placer
+  settings, and an algorithm-version tag that must be bumped whenever a
+  kernel change invalidates old results);
+* values are plain JSON dicts of the metrics the flows need (routing success,
+  wirelength, iterations; placement cost and sites) -- never pickled code;
+* writes are atomic (tmp file + ``os.replace``), so a cache shared by the
+  worker processes of a pool stays consistent.
+
+The cache is opt-in: pass a :class:`PaRCache` (or a directory path) to the
+entry points in :mod:`repro.par.metrics` / :mod:`repro.par.flow`, or set the
+``REPRO_PAR_CACHE`` environment variable to a directory to enable it
+globally (``PaRCache.from_env()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..fpga.architecture import FPGAArchitecture
+from .netlist import PhysicalNetlist
+from .placement import Placement
+
+__all__ = ["PaRCache", "ROUTE_ALGO_VERSION", "PLACE_ALGO_VERSION"]
+
+#: Bump when a routing kernel change makes cached route metrics stale.
+ROUTE_ALGO_VERSION = 2
+#: Bump when a placement kernel change makes cached placements stale.
+PLACE_ALGO_VERSION = 2
+
+
+def _netlist_fingerprint(netlist: PhysicalNetlist) -> str:
+    h = hashlib.sha256()
+    for b in netlist.blocks:
+        h.update(f"b{b.id}:{b.kind};".encode())
+    for n in netlist.nets:
+        h.update(f"n{n.id}:{n.driver}>{','.join(map(str, n.sinks))};".encode())
+    return h.hexdigest()[:16]
+
+
+def _placement_fingerprint(placement: Placement) -> str:
+    h = hashlib.sha256()
+    for bid in sorted(placement.block_site):
+        s = placement.block_site[bid]
+        h.update(f"{bid}@{s.x},{s.y},{s.kind},{s.subtile};".encode())
+    return h.hexdigest()[:16]
+
+
+def _arch_fingerprint(arch: FPGAArchitecture) -> str:
+    return (
+        f"{arch.width}x{arch.height}w{arch.channel_width}l{arch.lut_inputs}"
+        f"io{arch.io_capacity}fi{arch.fc_in}fo{arch.fc_out}"
+    )
+
+
+class PaRCache:
+    """Content-addressed JSON store for PAR metrics, safe for process pools."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["PaRCache"]:
+        """Cache at ``$REPRO_PAR_CACHE`` when set, else ``None`` (disabled)."""
+        directory = os.environ.get("REPRO_PAR_CACHE")
+        return cls(directory) if directory else None
+
+    # -- generic key/value store ------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- domain keys ------------------------------------------------------------
+
+    @staticmethod
+    def route_key(
+        netlist: PhysicalNetlist,
+        placement: Placement,
+        arch: FPGAArchitecture,
+        channel_width: int,
+        max_iterations: int,
+        kernel: str,
+    ) -> str:
+        material = "|".join(
+            (
+                f"route-v{ROUTE_ALGO_VERSION}",
+                _netlist_fingerprint(netlist),
+                _placement_fingerprint(placement),
+                _arch_fingerprint(arch),
+                f"w{channel_width}i{max_iterations}k{kernel}",
+            )
+        )
+        return "route-" + hashlib.sha256(material.encode()).hexdigest()[:32]
+
+    @staticmethod
+    def place_key(
+        netlist: PhysicalNetlist,
+        arch: FPGAArchitecture,
+        seed: int,
+        effort: float,
+        inner_num: float,
+        kernel: str,
+    ) -> str:
+        material = "|".join(
+            (
+                f"place-v{PLACE_ALGO_VERSION}",
+                _netlist_fingerprint(netlist),
+                _arch_fingerprint(arch),
+                f"s{seed}e{effort}n{inner_num}k{kernel}",
+            )
+        )
+        return "place-" + hashlib.sha256(material.encode()).hexdigest()[:32]

@@ -3,18 +3,30 @@
 These are the quantities of the paper's Table I PaR columns: total wirelength
 (WL) of the routed design and the minimum channel width (CW) at which the
 design still routes.
+
+The minimum-channel-width binary search is the most expensive metric -- it
+routes the whole design once per probed width.  :func:`minimum_channel_width`
+can therefore fan the probes out over a ``concurrent.futures`` process pool
+(``workers=N``): each bisection round evaluates up to N interior widths
+speculatively, cutting the number of sequential routing rounds from
+``log2(hi - lo)`` to ``log_{N+1}(hi - lo)``.  Results are optionally
+memoized in an on-disk :class:`repro.par.cache.PaRCache`, so harness re-runs
+and neighbouring experiments (Table I/II, reconfiguration) reuse routes
+instead of recomputing them.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..fpga.architecture import FPGAArchitecture
 from ..fpga.device import Device, build_device
 from ..fpga.routing_graph import RRNodeType
+from .cache import PaRCache
 from .netlist import PhysicalNetlist
 from .placement import Placement, PlacementResult, place
 from .routing import RoutingResult, route
@@ -55,6 +67,29 @@ class MinChannelWidthResult:
         return f"min CW = {self.min_channel_width} ({tried})"
 
 
+def _route_width_task(args: Tuple) -> Tuple[int, bool, int]:
+    """Pool worker: route at one channel width, return (width, ok, wirelength)."""
+    netlist, placement, base_arch, width, max_iterations, kernel = args
+    device = build_device(base_arch.with_channel_width(width))
+    try:
+        result = route(
+            netlist, placement, device,
+            max_iterations=max_iterations, kernel=kernel,
+        )
+    except RuntimeError:
+        return width, False, 0
+    return width, result.success, result.wirelength
+
+
+def _interior_points(lo: int, hi: int, count: int) -> List[int]:
+    """Up to ``count`` distinct widths strictly inside (lo, hi), evenly spread.
+
+    ``count == 1`` degenerates to the classic binary-search midpoint.
+    """
+    count = min(count, hi - lo - 1)
+    return sorted({lo + ((hi - lo) * (i + 1)) // (count + 1) for i in range(count)})
+
+
 def minimum_channel_width(
     netlist: PhysicalNetlist,
     placement: Placement,
@@ -62,50 +97,92 @@ def minimum_channel_width(
     low: int = 2,
     high: int = 32,
     max_router_iterations: int = 12,
+    route_kernel: str = "astar",
+    workers: Optional[int] = None,
+    cache: Optional[PaRCache] = None,
 ) -> MinChannelWidthResult:
     """Binary-search the smallest channel width at which the placed design routes.
 
     The placement is kept fixed across channel widths (the paper's comparison
     holds the architecture constant apart from W), which is also how VPR's
     binary search operates.
+
+    ``workers`` > 1 evaluates up to that many interior widths of each
+    bisection round concurrently in a process pool (speculative bisection);
+    the result is identical to the serial search whenever routability is
+    monotone in W.  ``cache`` memoizes per-width outcomes on disk; pass a
+    :class:`~repro.par.cache.PaRCache` or rely on ``PaRCache.from_env()`` at
+    the call site.
     """
     attempts: Dict[int, bool] = {}
     wl_at: Dict[int, int] = {}
+    pool_size = max(1, workers or 1)
 
-    def try_width(width: int) -> bool:
-        if width in attempts:
-            return attempts[width]
-        device = build_device(base_arch.with_channel_width(width))
-        try:
-            result = route(
-                netlist, placement, device, max_iterations=max_router_iterations
-            )
-            ok = result.success
-            if ok:
-                wl_at[width] = result.wirelength
-        except RuntimeError:
-            ok = False
+    def record(width: int, ok: bool, wirelength: int, from_cache: bool = False) -> None:
         attempts[width] = ok
-        return ok
+        if ok:
+            wl_at[width] = wirelength
+        if cache is not None and not from_cache:
+            key = PaRCache.route_key(
+                netlist, placement, base_arch, width,
+                max_router_iterations, route_kernel,
+            )
+            cache.put(key, {"success": ok, "wirelength": wirelength})
+
+    def evaluate(widths: List[int]) -> None:
+        """Route every not-yet-attempted width, via cache/pool when possible."""
+        todo = []
+        for w in widths:
+            if w in attempts:
+                continue
+            if cache is not None:
+                key = PaRCache.route_key(
+                    netlist, placement, base_arch, w,
+                    max_router_iterations, route_kernel,
+                )
+                hit = cache.get(key)
+                if hit is not None:
+                    record(w, bool(hit["success"]), int(hit["wirelength"]), from_cache=True)
+                    continue
+            todo.append(w)
+        if not todo:
+            return
+        tasks = [
+            (netlist, placement, base_arch, w, max_router_iterations, route_kernel)
+            for w in todo
+        ]
+        if pool_size > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=min(pool_size, len(todo))) as pool:
+                for w, ok, wl in pool.map(_route_width_task, tasks):
+                    record(w, ok, wl)
+        else:
+            for task in tasks:
+                w, ok, wl = _route_width_task(task)
+                record(w, ok, wl)
 
     # Ensure the upper bound routes; widen if necessary.
     hi = high
-    while not try_width(hi):
+    evaluate([hi, low] if pool_size > 1 else [hi])
+    while not attempts[hi]:
         hi *= 2
         if hi > 512:
             raise RuntimeError("design does not route even with an extremely wide channel")
-    lo = low
-    if try_width(lo):
-        best = lo
+        evaluate([hi])
+    evaluate([low])
+    if attempts[low]:
+        best = low
     else:
-        best = hi
+        lo = low
         while lo + 1 < hi:
-            mid = (lo + hi) // 2
-            if try_width(mid):
-                hi = mid
-                best = mid
-            else:
-                lo = mid
+            points = _interior_points(lo, hi, pool_size)
+            evaluate(points)
+            # Under monotone routability the points split fail | ok; narrow
+            # the bracket to the tightest adjacent (fail, ok) pair seen.
+            for w in points:
+                if attempts[w]:
+                    hi = min(hi, w)
+                else:
+                    lo = max(lo, w)
         best = hi
     return MinChannelWidthResult(
         min_channel_width=best,

@@ -5,20 +5,31 @@ routing-resource graph with an A*-guided Dijkstra search; congestion is
 resolved by iteratively re-routing nets through overused nodes while the
 present-congestion penalty grows and a history cost accumulates (PathFinder).
 
-Two search kernels live behind :func:`route`:
+Three search kernels live behind :func:`route`:
 
-* ``kernel="fast"`` (default) -- the per-node congestion cost
-  ``(base + history) * present_factor`` is precomputed as a single NumPy
-  vector at the start of every PathFinder iteration and refreshed entry-wise
-  on rip-up/commit (the only events that change occupancy); the wavefront
-  expansion runs over plain Python lists (CSR adjacency, coordinates, costs),
-  avoiding the per-edge function call and NumPy scalar-indexing overhead of
-  the original inner loop.
+* ``kernel="astar"`` (default) -- directed search over a pin-filtered view of
+  the RR graph (:meth:`repro.fpga.routing_graph.RRGraph.search_view`).  The
+  wavefront expands over SOURCE/OPIN/CHANX/CHANY nodes only; input pins and
+  sinks are reached through precomputed per-sink *entry maps* instead of
+  being flooded, every expansion is pruned to the net's terminal bounding box
+  (with a full-graph retry on the rare in-box failure), and the heap is keyed
+  on ``cost + lookahead`` where the lookahead is the admissible Manhattan
+  bound built from the precomputed RR-node coordinates.  Re-routing is
+  incremental at *connection* granularity: after the first iteration only
+  the congested connections of congested nets (plus the branches that hang
+  off them) are ripped up and re-routed; untouched branches keep their
+  paths across iterations.
+* ``kernel="fast"`` -- the PR 1 kernel: same congestion cost vector and
+  incremental re-routing, but the wavefront floods pins and is not
+  bbox-pruned.  Identical floating-point trajectory to ``reference``.
 * ``kernel="reference"`` -- the original implementation calling
   ``node_cost()`` per expanded edge; kept as the benchmark baseline.
 
-Both kernels perform identical floating-point operations in the same order,
-so they expand identical wavefronts and return identical routes.
+``fast`` and ``reference`` perform identical floating-point operations in the
+same order, so they expand identical wavefronts and return identical routes.
+``astar`` trades that bit-identity for throughput; its route quality is
+re-baselined in ``benchmarks/bench_hotpaths.py`` (wirelength within a few
+percent of the reference route).
 """
 
 from __future__ import annotations
@@ -77,6 +88,12 @@ _BASE_COST = {
     RRNodeType.CHANY: 1.0,
 }
 
+#: Admissible floor of the cost still to pay after the last wire of a path:
+#: one IPIN plus one SINK at base cost (congestion only ever adds to it).
+#: Folding it into the A* lookahead makes the bound nearly tight, which
+#: collapses the otherwise-huge tie plateau across the W parallel track grids.
+_PIN_FLOOR = _BASE_COST[RRNodeType.IPIN] + _BASE_COST[RRNodeType.SINK]
+
 
 def _terminal_nodes(
     netlist: PhysicalNetlist, placement: Placement, rr: RRGraph
@@ -109,26 +126,433 @@ def route(
     placement: Placement,
     device: Device,
     max_iterations: int = 25,
-    pres_fac_init: float = 0.6,
+    pres_fac_init: Optional[float] = None,
     pres_fac_mult: float = 1.8,
     hist_fac: float = 0.4,
     astar_fac: float = 1.1,
-    kernel: str = "fast",
+    kernel: str = "astar",
+    bbox_margin: int = 3,
 ) -> RoutingResult:
     """Route all nets of a placed netlist on the device's RR graph.
 
-    ``kernel`` selects the wavefront implementation (see module docstring);
-    both kernels return identical routes.
+    ``kernel`` selects the wavefront implementation (see module docstring).
+    ``fast`` and ``reference`` return identical routes; ``astar`` (the
+    default) returns routes of equivalent quality much faster.
+    ``bbox_margin`` is the expansion margin of the per-net search bounding
+    box used by the ``astar`` kernel.  ``pres_fac_init`` defaults to the
+    kernel's preferred schedule: 0.6 for ``fast``/``reference`` (the seed
+    trajectory) and 1.0 for ``astar``, whose directed first iteration
+    converges faster when initial congestion is priced harder.
     """
     if kernel == "reference":
         return _route_reference(
             netlist, placement, device,
-            max_iterations=max_iterations, pres_fac_init=pres_fac_init,
+            max_iterations=max_iterations,
+            pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
             pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+        )
+    if kernel == "astar":
+        return _route_astar(
+            netlist, placement, device,
+            max_iterations=max_iterations,
+            pres_fac_init=1.0 if pres_fac_init is None else pres_fac_init,
+            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+            bbox_margin=bbox_margin,
         )
     if kernel != "fast":
         raise ValueError(f"unknown routing kernel {kernel!r}")
+    return _route_fast(
+        netlist, placement, device,
+        max_iterations=max_iterations,
+        pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
+        pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+    )
 
+
+def _route_astar(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    device: Device,
+    max_iterations: int = 25,
+    pres_fac_init: float = 1.0,
+    pres_fac_mult: float = 1.8,
+    hist_fac: float = 0.4,
+    astar_fac: float = 1.1,
+    bbox_margin: int = 3,
+) -> RoutingResult:
+    """Directed incremental PathFinder over the pin-filtered search view."""
+    rr = device.rr_graph
+    num_nodes = rr.num_nodes
+    view = rr.search_view()
+
+    base_cost = _base_cost_array(rr)
+    cap_arr = rr.node_capacity.astype(np.int32)
+    history = np.zeros(num_nodes, dtype=np.float64)
+
+    xs, ys = view.xs, view.ys
+    types = view.types
+    adj = view.adj_search
+    cap = view.capacity
+    entries_of = view.entries_of
+    occupancy = [0] * num_nodes
+
+    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+
+    routes: Dict[int, NetRoute] = {}
+    net_terms: Dict[int, Tuple[int, List[int]]] = {}
+    net_bbox: Dict[int, Tuple[int, int, int, int]] = {}
+    for net in netlist.nets:
+        source = src_of[net.driver]
+        sinks = [sink_of[s] for s in net.sinks]
+        net_terms[net.id] = (source, sinks)
+        txs = [xs[source]] + [xs[t] for t in sinks]
+        tys = [ys[source]] + [ys[t] for t in sinks]
+        net_bbox[net.id] = (
+            min(txs) - bbox_margin, max(txs) + bbox_margin,
+            min(tys) - bbox_margin, max(tys) + bbox_margin,
+        )
+    full_bounds = (-(1 << 30), 1 << 30, -(1 << 30), 1 << 30)
+
+    visited_gen = [0] * num_nodes
+    cost_so_far = [0.0] * num_nodes
+    prev_node = [-1] * num_nodes
+    generation = 0
+
+    IPIN = RRNodeType.IPIN
+    SINK = RRNodeType.SINK
+    CHANX = RRNodeType.CHANX
+    CHANY = RRNodeType.CHANY
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    bh: List[float] = []
+    cost: List[float] = []
+    pres_fac = pres_fac_init
+    # Live set of strictly-overused nodes, maintained by bump(): the
+    # congestion scans below stay proportional to the overuse, never to the
+    # graph, and see occupancy changes from earlier re-routes in the same
+    # iteration (which is what makes the negotiation converge).
+    over_now: Set[int] = set()
+
+    def bump(n: int, d: int) -> None:
+        occupancy[n] += d
+        over = occupancy[n] + 1 - cap[n]
+        if over > 0:
+            cost[n] = bh[n] * (1.0 + pres_fac * over)
+            if over > 1:
+                over_now.add(n)
+            elif d < 0:
+                over_now.discard(n)
+        else:
+            cost[n] = bh[n]
+            if d < 0:
+                over_now.discard(n)
+
+    def _search(
+        target: int, tree: List[int], gen: int,
+        bounds: Tuple[int, int, int, int], fac: float,
+    ) -> bool:
+        """One directed wavefront from the route tree to ``target``."""
+        # Bind the hot closure variables as locals: the expansion loop below
+        # runs millions of times per route and LOAD_FAST is measurably
+        # cheaper than LOAD_DEREF.
+        xs_l, ys_l, adj_l, cost_l = xs, ys, adj, cost
+        visited_l, csf_l, prev_l = visited_gen, cost_so_far, prev_node
+        push, pop = heappush, heappop
+        xlo, xhi, ylo, yhi = bounds
+        tx, ty = xs_l[target], ys_l[target]
+        entry_get = entries_of(target).get
+        t_cost = cost_l[target]
+        best = float("inf")  # cheapest known completion through the entry map
+        heap: List[Tuple[float, float, int]] = []
+
+        def complete(w: int, g_w: float) -> None:
+            """Finish target <- ipin <- ``w`` through the cheapest input pin."""
+            nonlocal best
+            ips = entry_get(w)
+            if ips is None:
+                return
+            ip = ips[0]
+            c = cost_l[ip]
+            for q in ips[1:]:
+                if cost_l[q] < c:
+                    ip, c = q, cost_l[q]
+            total = g_w + c + t_cost
+            if total < best - 1e-12:
+                best = total
+                visited_l[target] = gen
+                csf_l[target] = total
+                prev_l[target] = ip
+                visited_l[ip] = gen
+                csf_l[ip] = g_w + c
+                prev_l[ip] = w
+
+        # The route tree is seeded lazily: candidates are sorted by lookahead
+        # and enter the heap only once the frontier's f reaches their h --
+        # most tree nodes of a big net are far from the target and never get
+        # pushed at all.  (A candidate the wavefront reaches before its seed
+        # turn is simply re-relaxed to cost 0 when the turn comes.)
+        seed_list: List[Tuple[float, int]] = []
+        for n in tree:
+            tt = types[n]
+            if tt == IPIN or tt == SINK:
+                continue  # dead ends in the filtered view
+            x = xs_l[n]
+            y = ys_l[n]
+            if x < xlo or x > xhi or y < ylo or y > yhi:
+                continue  # outside the search box: its expansions would be too
+            dx = x - tx
+            dy = y - ty
+            if dx < 0:
+                dx = -dx
+            if dy < 0:
+                dy = -dy
+            if dx + dy <= 1:
+                complete(n, 0.0)
+            seed_list.append(((dx + dy) * fac, n))
+        seed_list.sort()
+        si = 0
+        nseeds = len(seed_list)
+        while True:
+            if si < nseeds and (not heap or seed_list[si][0] <= heap[0][0]):
+                f, n = seed_list[si]
+                si += 1
+                g = 0.0
+                visited_l[n] = gen
+                csf_l[n] = 0.0
+                prev_l[n] = -1
+            elif heap:
+                f, g, n = pop(heap)
+                if g > csf_l[n] + 1e-12:
+                    continue  # stale heap entry
+            else:
+                break
+            while True:
+                if f >= best:
+                    # The lookahead is admissible, so neither this node nor
+                    # anything left in the heap can beat the completion
+                    # already found: the recorded backtrace is final.
+                    return True
+                # Expand n; the cheapest improved neighbor is chased inline
+                # (no heap round-trip) while it is at least as good as the
+                # current heap top -- on straight corridors this removes the
+                # push/pop pair for almost every hop.  Pushes are pruned with
+                # two bounds: the weighted heap key ``f_m`` and the strictly
+                # admissible ``g + dist + pin floor``, which becomes tight as
+                # soon as a completion is known and cuts the cross-track tie
+                # plateau at its root.
+                chase_f = float("inf")
+                chase_g = 0.0
+                chase_m = -1
+                for m in adj_l[n]:
+                    new_cost = g + cost_l[m]
+                    if visited_l[m] == gen and new_cost >= csf_l[m] - 1e-12:
+                        continue  # already reached at least as cheaply
+                    x = xs_l[m]
+                    if x < xlo or x > xhi:
+                        continue
+                    y = ys_l[m]
+                    if y < ylo or y > yhi:
+                        continue
+                    dx = x - tx
+                    dy = y - ty
+                    if dx < 0:
+                        dx = -dx
+                    if dy < 0:
+                        dy = -dy
+                    d = dx + dy
+                    if d <= 1:
+                        # Candidate entry wire: record it, then complete
+                        # through it immediately so the bound is primed
+                        # long before the wavefront reaches the target.
+                        visited_l[m] = gen
+                        csf_l[m] = new_cost
+                        prev_l[m] = n
+                        complete(m, new_cost)
+                        f_m = new_cost + d * fac
+                        if new_cost + d + _PIN_FLOOR >= best or f_m >= best:
+                            continue
+                    else:
+                        f_m = new_cost + d * fac
+                        if f_m >= best or new_cost + d + _PIN_FLOOR >= best:
+                            continue  # cannot beat the known completion
+                        visited_l[m] = gen
+                        csf_l[m] = new_cost
+                        prev_l[m] = n
+                    if f_m < chase_f:
+                        if chase_m >= 0:
+                            push(heap, (chase_f, chase_g, chase_m))
+                        chase_f, chase_g, chase_m = f_m, new_cost, m
+                    else:
+                        push(heap, (f_m, new_cost, m))
+                if chase_m < 0:
+                    break
+                if (heap and heap[0][0] < chase_f) or (
+                    si < nseeds and seed_list[si][0] < chase_f
+                ):
+                    # Something cheaper waits in the heap or the seed stream:
+                    # defer the candidate to keep the expansion in f-order.
+                    push(heap, (chase_f, chase_g, chase_m))
+                    break
+                f, g, n = chase_f, chase_g, chase_m
+        return best < float("inf")
+
+    # Per-net route trees are kept as ordered *connections* -- one
+    # ``(target, path, attach)`` triple per sink, where ``path`` lists the
+    # nodes this connection added to the tree (target first) and ``attach``
+    # is the existing tree node the path grew from.  A duplicate sink (two
+    # net pins on one block) is recorded as ``(target, [], target)``.
+    net_conns: Dict[int, List[Tuple[int, List[int], int]]] = {}
+
+    def _route_connections(
+        net_id: int,
+        order: List[int],
+        tree: List[int],
+        tree_set: Set[int],
+        conns: List[Tuple[int, List[int], int]],
+    ) -> None:
+        nonlocal generation
+        escalation = (net_bbox[net_id], full_bounds)
+        for target in order:
+            if target in tree_set:
+                bump(target, 1)
+                conns.append((target, [], target))
+                continue
+            # A too-tight box can starve a congested net of detour room;
+            # escalate to the net terminal box and then the whole device
+            # before giving up.
+            found = False
+            for box in escalation:
+                generation += 1
+                if _search(target, tree, generation, box, astar_fac):
+                    found = True
+                    break
+            if not found:
+                raise RuntimeError(
+                    f"net {net_id} could not reach its sink; the device is too "
+                    "small or the channel width is insufficient even with "
+                    "congestion allowed"
+                )
+            # Backtrace and merge the new path into the route tree.
+            path = []
+            n = target
+            while n not in tree_set:
+                path.append(n)
+                n = prev_node[n]
+            for p in path:
+                tree_set.add(p)
+                tree.append(p)
+                bump(p, 1)
+            conns.append((target, path, n))
+
+    def _net_route_of(net_id: int) -> NetRoute:
+        nodes = [net_terms[net_id][0]]
+        for _, path, _ in net_conns[net_id]:
+            nodes.extend(path)
+        return NetRoute(net_id, nodes)
+
+    def route_net(net_id: int) -> None:
+        source, sinks = net_terms[net_id]
+        tree: List[int] = [source]
+        tree_set: Set[int] = {source}
+        # Route sinks farthest-first (VPR heuristic).
+        sx, sy = xs[source], ys[source]
+        order = sorted(sinks, key=lambda t: -(abs(xs[t] - sx) + abs(ys[t] - sy)))
+        conns: List[Tuple[int, List[int], int]] = []
+        net_conns[net_id] = conns
+        _route_connections(net_id, order, tree, tree_set, conns)
+        routes[net_id] = _net_route_of(net_id)
+
+    def reroute_net(net_id: int) -> None:
+        """Rip up and re-route only the congested connections of one net.
+
+        A connection is ripped when its own nodes are overused or when it
+        attaches to (or targets) a node owned by a ripped earlier connection;
+        connections are stored in route order, so one forward scan closes the
+        dependency chain.
+        """
+        source = net_terms[net_id][0]
+        kept: List[Tuple[int, List[int], int]] = []
+        ripped: List[Tuple[int, List[int], int]] = []
+        ripped_nodes: Set[int] = set()
+        for conn in net_conns[net_id]:
+            target, path, attach = conn
+            usage = path if path else [target]
+            if (
+                attach in ripped_nodes
+                or target in ripped_nodes
+                or not over_now.isdisjoint(usage)
+            ):
+                ripped.append(conn)
+                ripped_nodes.update(usage)
+            else:
+                kept.append(conn)
+        if not ripped:
+            return
+        for target, path, _ in ripped:
+            for n in (path if path else [target]):
+                bump(n, -1)
+        tree = [source]
+        tree_set = {source}
+        for _, path, _ in kept:
+            for n in path:
+                tree.append(n)
+                tree_set.add(n)
+        new_conns: List[Tuple[int, List[int], int]] = []
+        _route_connections(
+            net_id, [c[0] for c in ripped], tree, tree_set, new_conns
+        )
+        net_conns[net_id] = kept + new_conns
+        routes[net_id] = _net_route_of(net_id)
+
+    iteration = 0
+    success = False
+    net_ids = [net.id for net in netlist.nets]
+
+    for iteration in range(1, max_iterations + 1):
+        # Refresh the congestion cost vector for this iteration's pres_fac
+        # and history (occupancy-driven entries are kept current by bump()).
+        occ_arr = np.asarray(occupancy, dtype=np.int32)
+        base_hist = base_cost + history
+        over_arr = occ_arr + 1 - cap_arr
+        cost_arr = np.where(over_arr > 0, base_hist * (1.0 + pres_fac * over_arr), base_hist)
+        bh = base_hist.tolist()
+        cost = cost_arr.tolist()
+
+        if iteration == 1:
+            for nid in net_ids:
+                route_net(nid)
+        else:
+            # Incremental re-route: only nets that occupy congested nodes,
+            # and within them only the congested connections.  over_now is
+            # live, so a net already healed by an earlier re-route in this
+            # iteration is skipped and one newly congested is picked up.
+            for nid in net_ids:
+                if not over_now.isdisjoint(routes[nid].nodes):
+                    reroute_net(nid)
+
+        if not over_now:
+            success = True
+            break
+        for n in over_now:
+            history[n] += hist_fac * (occupancy[n] - cap[n])
+        pres_fac *= pres_fac_mult
+
+    occ_arr = np.asarray(occupancy, dtype=np.int32)
+    return _assemble_result(rr, routes, occ_arr, cap_arr, success, iteration)
+
+
+def _route_fast(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    device: Device,
+    max_iterations: int = 25,
+    pres_fac_init: float = 0.6,
+    pres_fac_mult: float = 1.8,
+    hist_fac: float = 0.4,
+    astar_fac: float = 1.1,
+) -> RoutingResult:
+    """PR 1 kernel: congestion cost vector, unpruned wavefront (baseline)."""
     rr = device.rr_graph
     num_nodes = rr.num_nodes
 
