@@ -10,7 +10,6 @@ parameters.
 
 from __future__ import annotations
 
-import pytest
 
 from _bench_config import BENCH_FP_FORMAT, write_report
 from repro.core.grid import VCGRAArchitecture

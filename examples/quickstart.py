@@ -15,7 +15,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core.flows import compare_pe_flows
-from repro.core.pe import PEOp, ProcessingElementSpec, build_pe_design
+from repro.core.pe import PEOp, ProcessingElementSpec
 from repro.flopoco.arithmetic import fp_mac
 from repro.flopoco.format import FPFormat
 

@@ -1,9 +1,12 @@
 """Setup shim.
 
-The canonical metadata lives in pyproject.toml.  This file exists so the
-package can be installed in environments without the ``wheel`` package or
-network access (``python setup.py develop`` / legacy editable installs).
+The canonical metadata lives in pyproject.toml (name, version, the src/
+package layout and dependencies).  This file exists so the package can
+still be installed by legacy tooling (``python setup.py develop``) and in
+offline environments via ``pip install -e . --no-build-isolation``, where
+pip cannot fetch the isolated build backend.
 """
+
 from setuptools import setup
 
 setup()

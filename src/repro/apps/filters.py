@@ -16,7 +16,7 @@ Processing Element that multiplies image samples with those coefficients.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

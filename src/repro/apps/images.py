@@ -19,7 +19,7 @@ real datasets provide only through manual annotation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -15,9 +15,8 @@ results leave at the bottom row.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from .pe import ProcessingElementSpec
 

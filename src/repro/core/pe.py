@@ -25,8 +25,8 @@ fields declared as ``--PARAM`` inputs:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..flopoco.circuits import build_fp_adder, build_fp_multiplier
 from ..flopoco.format import FPFormat, PAPER_FORMAT

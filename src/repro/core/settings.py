@@ -11,7 +11,7 @@ inputs of the DCS flow and are folded into the FPGA's configuration memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .grid import GridPosition, VCGRAArchitecture
 from .pe import PEOp, ProcessingElementSpec

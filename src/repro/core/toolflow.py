@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..flopoco.format import FPFormat
 from .grid import GridPosition, VCGRAArchitecture
 from .pe import PEOp
-from .settings import PESettings, VCGRASettings, VSBSettings
+from .settings import VCGRASettings, VSBSettings
 
 __all__ = [
     "PEOperation",

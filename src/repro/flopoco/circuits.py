@@ -17,7 +17,7 @@ bit-for-bit; the test suite relies on this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..netlist.hdl import Bus, Design
 from .format import FPFormat

@@ -11,8 +11,8 @@ that architecture parametrically.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 __all__ = ["FPGAArchitecture", "Site", "auto_size"]
 

@@ -22,8 +22,8 @@ predicts.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
 
 from .architecture import FPGAArchitecture
 

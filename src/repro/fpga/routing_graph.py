@@ -21,13 +21,13 @@ so that the router's inner loop stays cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from .architecture import FPGAArchitecture
 
-__all__ = ["RRNodeType", "RRGraph", "RouterSearchView", "build_rr_graph"]
+__all__ = ["RRNodeType", "RRGraph", "RouterSearchView", "build_rr_graph", "RR_BASE_COST"]
 
 
 class RRNodeType:
@@ -41,6 +41,19 @@ class RRNodeType:
     CHANY = 5
 
     NAMES = {0: "SOURCE", 1: "SINK", 2: "OPIN", 3: "IPIN", 4: "CHANX", 5: "CHANY"}
+
+
+#: Congestion-free cost of occupying one RR node, by node type.  This is the
+#: router's cost model, exported here so :class:`RouterSearchView` can bake a
+#: flat base-cost vector next to the CSR arrays it already owns.
+RR_BASE_COST = {
+    RRNodeType.SOURCE: 0.1,
+    RRNodeType.SINK: 0.1,
+    RRNodeType.OPIN: 0.9,
+    RRNodeType.IPIN: 0.9,
+    RRNodeType.CHANX: 1.0,
+    RRNodeType.CHANY: 1.0,
+}
 
 
 @dataclass
@@ -106,9 +119,9 @@ class RRGraph:
 
 
 class RouterSearchView:
-    """Flat Python-list mirrors of an :class:`RRGraph` for wavefront search.
+    """Flat mirrors of an :class:`RRGraph` for wavefront search kernels.
 
-    The directed (A*) router expands exclusively over SOURCE/OPIN/CHANX/CHANY
+    The directed routers expand exclusively over SOURCE/OPIN/CHANX/CHANY
     nodes: IPIN and SINK successors are stripped from the adjacency here, and
     each sink instead exposes an *entry map* ``wire -> [ipins]`` derived from
     the reverse edges, so the search completes on the first wire adjacent to
@@ -116,6 +129,15 @@ class RouterSearchView:
     coordinates double as the admissible geometric lookahead: every remaining
     unit of Manhattan distance to the target costs at least one unit-length
     wire of base cost 1.0.
+
+    The filtered adjacency is materialized twice from one construction pass:
+
+    * ``csr_ptr`` / ``csr_dst`` / ``csr_deg`` -- contiguous NumPy CSR arrays,
+      the data layout of the vectorized delta-stepping ``wavefront`` kernel,
+      alongside ``xs_arr`` / ``ys_arr`` (Manhattan-lookahead tables) and
+      ``base_cost`` (congestion-free node costs, :data:`RR_BASE_COST`);
+    * ``adj_search`` -- per-node Python lists sliced out of the same CSR,
+      the layout of the scalar heap-based ``astar`` kernel.
     """
 
     def __init__(self, rr: RRGraph) -> None:
@@ -125,13 +147,36 @@ class RouterSearchView:
         self.types: List[int] = rr.node_type.tolist()
         self.capacity: List[int] = rr.node_capacity.tolist()
 
-        ptr = rr.edge_ptr.tolist()
-        dst = rr.edge_dst.tolist()
-        types = self.types
-        IPIN, SINK = RRNodeType.IPIN, RRNodeType.SINK
+        # Filtered adjacency (no IPIN/SINK targets) as contiguous NumPy CSR.
+        num_nodes = rr.num_nodes
+        dst_type = rr.node_type[rr.edge_dst]
+        keep = (dst_type != RRNodeType.IPIN) & (dst_type != RRNodeType.SINK)
+        edge_src = np.repeat(
+            np.arange(num_nodes, dtype=np.int32),
+            np.diff(rr.edge_ptr).astype(np.int64),
+        )
+        self.csr_dst: np.ndarray = rr.edge_dst[keep].astype(np.int32)
+        self.csr_deg: np.ndarray = np.bincount(
+            edge_src[keep], minlength=num_nodes
+        ).astype(np.int64)
+        self.csr_ptr: np.ndarray = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(self.csr_deg, out=self.csr_ptr[1:])
+
+        # Vector mirrors of the per-node attributes used by the wavefront
+        # kernel: lookahead tables and the congestion-free cost floor.
+        self.xs_arr: np.ndarray = rr.node_x.astype(np.int64)
+        self.ys_arr: np.ndarray = rr.node_y.astype(np.int64)
+        base = np.empty(num_nodes, dtype=np.float64)
+        for t, c in RR_BASE_COST.items():
+            base[rr.node_type == t] = c
+        self.base_cost: np.ndarray = base
+
+        # The scalar astar kernel walks the same filtered adjacency as Python
+        # lists; slice them out of the CSR just built.
+        ptr = self.csr_ptr.tolist()
+        dst = self.csr_dst.tolist()
         self.adj_search: List[List[int]] = [
-            [m for m in dst[ptr[i]: ptr[i + 1]] if types[m] != IPIN and types[m] != SINK]
-            for i in range(rr.num_nodes)
+            dst[ptr[i]: ptr[i + 1]] for i in range(num_nodes)
         ]
 
         # Reverse CSR (for per-sink entry maps, built lazily below).
@@ -143,6 +188,7 @@ class RouterSearchView:
         self._rev_ptr = np.zeros(rr.num_nodes + 1, dtype=np.int64)
         np.cumsum(np.bincount(rr.edge_dst, minlength=rr.num_nodes), out=self._rev_ptr[1:])
         self._entries: Dict[int, Dict[int, List[int]]] = {}
+        self._entry_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def _in_edges(self, node: int) -> List[int]:
         lo, hi = int(self._rev_ptr[node]), int(self._rev_ptr[node + 1])
@@ -158,6 +204,29 @@ class RouterSearchView:
                     entry.setdefault(wire, []).append(ipin)
             self._entries[sink] = entry
         return entry
+
+    def entry_arrays(self, sink: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Entry map of ``sink`` flattened to parallel (wires, ipins) arrays.
+
+        One element per feasible ``wire -> ipin`` hop into the sink; the
+        wavefront kernel reduces ``g[wire] + cost[ipin]`` over these arrays to
+        find the cheapest completion, so they are cached per sink exactly like
+        the dict form.
+        """
+        arrays = self._entry_arrays.get(sink)
+        if arrays is None:
+            wires: List[int] = []
+            ipins: List[int] = []
+            for wire, pins in self.entries_of(sink).items():
+                for ipin in pins:
+                    wires.append(wire)
+                    ipins.append(ipin)
+            arrays = (
+                np.asarray(wires, dtype=np.int64),
+                np.asarray(ipins, dtype=np.int64),
+            )
+            self._entry_arrays[sink] = arrays
+        return arrays
 
 
 class _Builder:

@@ -10,7 +10,7 @@ tools (ABC, VPR) for cross-checking.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from .boolean import TruthTable
 from .circuit import Circuit, Op

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from .circuit import Circuit, Op
+from .circuit import Circuit
 
 __all__ = ["Bus", "Design"]
 

@@ -99,16 +99,20 @@ class PaRCache:
 
     def put(self, key: str, value: Dict[str, Any]) -> None:
         path = self._path(key)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        tmp = None
         try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(value, fh)
             os.replace(tmp, path)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # The cache is an optimization: a full disk or an unwritable
+            # shared directory must never fail the flow that uses it.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # -- domain keys ------------------------------------------------------------
 

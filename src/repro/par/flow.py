@@ -20,14 +20,14 @@ Two parallel/caching facilities ride on top of the single-shot flow:
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..fpga.architecture import FPGAArchitecture, auto_size
 from ..fpga.device import Device, build_device
 from ..techmap.mapping import MappedNetwork
 from .cache import PaRCache
-from .metrics import MinChannelWidthResult, channel_occupancy, minimum_channel_width
+from .metrics import MinChannelWidthResult, minimum_channel_width
 from .netlist import PhysicalNetlist, from_mapped_network
 from .placement import Placement, PlacementResult, place
 from .routing import RoutingResult, route
@@ -85,7 +85,8 @@ def place_and_route(
     min_cw_bounds: tuple = (2, 32),
     seed: int = 0,
     placement_kernel: str = "incremental",
-    route_kernel: str = "astar",
+    route_kernel: str = "wavefront",
+    min_cw_route_kernel: str = "astar",
     workers: Optional[int] = None,
     cache: Optional[PaRCache] = None,
 ) -> PaRResult:
@@ -106,7 +107,10 @@ def place_and_route(
         Additionally run the binary search for the minimum channel width
         (Table I's CW column).  This re-routes the design several times;
         ``workers`` parallelizes the probes and ``cache`` memoizes them
-        (defaults to ``PaRCache.from_env()``).
+        (defaults to ``PaRCache.from_env()``).  The probes use
+        ``min_cw_route_kernel`` (default ``astar``): widths below the
+        minimum are non-convergent by construction, which is the scalar
+        kernel's fast case -- see :func:`repro.par.metrics.minimum_channel_width`.
     """
     netlist = from_mapped_network(network)
     num_logic = netlist.num_logic_blocks() + netlist.num_ff_blocks()
@@ -131,7 +135,7 @@ def place_and_route(
         min_cw = minimum_channel_width(
             netlist, placement.placement, arch,
             low=min_cw_bounds[0], high=min_cw_bounds[1],
-            route_kernel=route_kernel, workers=workers, cache=cache,
+            route_kernel=min_cw_route_kernel, workers=workers, cache=cache,
         )
 
     return PaRResult(

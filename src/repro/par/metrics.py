@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from ..fpga.device import Device, build_device
 from ..fpga.routing_graph import RRNodeType
 from .cache import PaRCache
 from .netlist import PhysicalNetlist
-from .placement import Placement, PlacementResult, place
+from .placement import Placement
 from .routing import RoutingResult, route
 
 __all__ = [
@@ -113,6 +113,14 @@ def minimum_channel_width(
     monotone in W.  ``cache`` memoizes per-width outcomes on disk; pass a
     :class:`~repro.par.cache.PaRCache` or rely on ``PaRCache.from_env()`` at
     the call site.
+
+    ``route_kernel`` defaults to ``astar`` here even though ``wavefront``
+    is the router's default: the binary search spends most of its time on
+    deliberately-congested widths below the minimum, where a probe is 15
+    iterations of non-convergent reroute storms -- the scalar kernel
+    handles those far faster, while the wavefront kernel's strength is the
+    converging route.  The two kernels agree on routability (both are
+    gated to reference-class quality), so the found width is the same.
     """
     attempts: Dict[int, bool] = {}
     wl_at: Dict[int, int] = {}

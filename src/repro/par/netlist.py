@@ -17,7 +17,7 @@ netlist* of placeable blocks and point-to-multipoint nets:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..techmap.mapping import MappedNetwork, NodeKind
 

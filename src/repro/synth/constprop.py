@@ -14,7 +14,7 @@ the gate level.  It is used
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..netlist.circuit import Circuit, Op
 from .optimize import OptimizeReport, optimize

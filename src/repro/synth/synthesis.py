@@ -11,7 +11,7 @@ hand-off point to the technology mappers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..netlist.circuit import Circuit
 from ..netlist.hdl import Design

@@ -14,9 +14,8 @@ truth table rather than on its physical input pins.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.circuit import Circuit, Op
 
@@ -197,7 +196,7 @@ class CutEnumerator:
                 data.append(leaf)
         if len(data) > self.k or len(tune) > self.max_tune:
             return None
-        depth = 1 + max((self._leaf_arrival(l) for l in data), default=0)
+        depth = 1 + max((self._leaf_arrival(d) for d in data), default=0)
         return Cut(tuple(sorted(data)), tuple(sorted(tune)), depth)
 
     def _merge(self, fanin_cut_sets: Sequence[List[Set[int]]]) -> List[Set[int]]:

@@ -8,7 +8,6 @@ the parameter inputs (settings-register bits) occupy ordinary LUT pins.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..netlist.circuit import Circuit
 from .mapper import MapperOptions, technology_map

@@ -23,10 +23,10 @@ is performed by :meth:`MappedNetwork.specialize`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.boolean import TruthTable, restrict, wire_source
-from ..netlist.circuit import Circuit, Op
+from ..netlist.circuit import Circuit
 from ..netlist.simulate import simulate_patterns
 
 __all__ = ["MappedNode", "MappedNetwork", "SpecializedNetwork", "MappingStats"]

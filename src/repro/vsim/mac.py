@@ -9,8 +9,8 @@ after ``count_limit`` iterations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..core.pe import PEOp
 from ..core.settings import PESettings

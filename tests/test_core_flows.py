@@ -16,7 +16,6 @@ from repro.core.toolflow import (
 )
 from repro.flopoco.arithmetic import fp_mac
 from repro.flopoco.format import FPFormat
-from repro.netlist.hdl import Design
 from repro.par.flow import place_and_route
 from repro.synth.optimize import optimize
 from repro.techmap import map_parameterized

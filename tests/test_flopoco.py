@@ -1,6 +1,5 @@
 """Tests for the FloPoCo floating-point substrate (format, arithmetic, circuits)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

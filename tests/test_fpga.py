@@ -1,13 +1,12 @@
 """Tests for the FPGA device model (architecture, RR graph, configuration memory)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fpga.architecture import FPGAArchitecture, auto_size
 from repro.fpga.bitstream import Bitstream, ConfigurationLayout
-from repro.fpga.device import build_device, device_for_netlist
+from repro.fpga.device import device_for_netlist
 from repro.fpga.routing_graph import RRNodeType, build_rr_graph
 
 

@@ -1,6 +1,5 @@
 """Unit and property tests for the word-level structural HDL builder."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
