@@ -28,7 +28,15 @@ Three comparisons are made:
   default of the reduced format is *not* routable -- routing it only
   measured non-convergence), records it as ``channel_width_used``, and
   checks both re-baselined kernels' route quality against the reference
-  route (``wavefront`` carries the tighter 1.02x band from its issue).
+  route (``wavefront`` carries the tighter 1.02x band from its issue);
+* **timing** -- the PR 4 criticality-driven objective at the same minimum
+  routable width: routed ``critical_path_ns`` + ``logic_depth`` of the
+  default (wirelength) flow vs ``objective="timing"`` both route-only (same
+  placement) and flow-level (timing-driven placement), plus the measured
+  cost of one criticality update per PathFinder iteration.  Gated by
+  ``check_quality.py``: the timing run must converge, must not regress
+  delay, and must stay inside the wirelength band of the reference route on
+  its own placement.
 """
 
 from __future__ import annotations
@@ -56,12 +64,15 @@ from repro.netlist.simulate import (
     simulate_patterns_reference,
 )
 from repro.par.cache import PaRCache
+from repro.par.flow import timing_driven_placement
 from repro.par.metrics import minimum_channel_width
 from repro.par.netlist import from_mapped_network
 from repro.par.placement import place
 from repro.par.routing import route
 from repro.synth.optimize import optimize
 from repro.techmap import map_conventional
+from repro.timing import analyze
+from repro.timing.sta import CriticalityTracker
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 
@@ -78,6 +89,8 @@ ROUTE_SPEEDUP_FLOOR = 2.5    #: recorded astar-vs-fast floor (typical 2.5-3.4x)
 WAVEFRONT_SPEEDUP_FLOOR = 2.0  #: recorded wavefront-vs-astar target (see issue 3)
 PLACE_SPEEDUP_FLOOR = 1.5    #: recorded batched-vs-incremental iso-quality floor
 CHANNEL_WIDTH = 12           #: starting point of the routable-width search
+TIMING_DELAY_TARGET = 0.90   #: recorded flow-level delay-ratio target (>=10% better)
+TIMING_WL_BAND = 1.02        #: timing route wirelength vs reference, same placement
 
 
 def _build_workload():
@@ -90,7 +103,7 @@ def _build_workload():
         netlist.num_io_blocks(),
         channel_width=CHANNEL_WIDTH,
     )
-    return circuit, netlist, arch
+    return circuit, network, netlist, arch
 
 
 def _timed(fn, repeats=1):
@@ -311,18 +324,113 @@ def bench_routing(netlist, arch, placement):
                 "success_reference": ref.success,
             }
         )
-    return entry
+    return entry, width
+
+
+def bench_timing(network, netlist, arch, placement, width):
+    """Criticality-driven PAR vs the default flow at the min routable width.
+
+    Three measurements at the same channel width:
+
+    * the default flow's route (wirelength objective on the bench
+      placement) -- the delay baseline;
+    * ``objective="timing"`` route-only on the *same* placement, isolating
+      the router's contribution;
+    * the full timing flow (``timing_driven_placement`` + timing route) --
+      the headline delay-ratio number gated by ``check_quality.py``.
+
+    The timing route's wirelength is banded against the reference-kernel
+    route *on the timing placement* (the router-quality claim), and one
+    criticality update is timed to document the per-PathFinder-iteration
+    cost of the feedback loop.
+    """
+    device = build_device(arch.with_channel_width(width))
+
+    base = route(netlist, placement, device, kernel="wavefront")
+    a_base = analyze(netlist, base, device, placement=placement)
+
+    t0 = time.perf_counter()
+    timed_route = route(
+        netlist, placement, device, kernel="wavefront",
+        objective="timing", criticality_exponent=2.0,
+    )
+    route_timing_s = time.perf_counter() - t0
+    a_route = analyze(netlist, timed_route, device, placement=placement)
+
+    t0 = time.perf_counter()
+    flow_placement = timing_driven_placement(
+        netlist, arch, seed=PLACE_SEEDS[0], effort=PLACE_EFFORT
+    ).placement
+    place_timing_s = time.perf_counter() - t0
+    flow_route = route(
+        netlist, flow_placement, device, kernel="wavefront",
+        objective="timing", criticality_exponent=2.0,
+    )
+    a_flow = analyze(netlist, flow_route, device, placement=flow_placement)
+    ref_on_flow = route(netlist, flow_placement, device, kernel="reference")
+
+    # Cost of one criticality update (route-tree walk + two STA scans),
+    # paid once per PathFinder iteration in timing mode.
+    tracker = CriticalityTracker(netlist, flow_placement, device)
+    t0 = time.perf_counter()
+    tracker.update(flow_route.routes)
+    crit_update_s = time.perf_counter() - t0
+
+    delay_ratio_route = a_route.critical_path_ns / a_base.critical_path_ns
+    delay_ratio_flow = a_flow.critical_path_ns / a_base.critical_path_ns
+    wl_band_ratio = flow_route.wirelength / ref_on_flow.wirelength
+    converged = base.success and timed_route.success and flow_route.success
+    depth_ok = a_base.logic_depth == network.depth()
+    ok = (
+        converged
+        and depth_ok
+        and delay_ratio_flow <= 1.0
+        and wl_band_ratio <= TIMING_WL_BAND
+    )
+    return {
+        "workload": (
+            f"{len(netlist.nets)} nets at W={width} (min routable), "
+            f"STA over {len(netlist.blocks)} blocks"
+        ),
+        "channel_width_used": width,
+        "logic_depth": a_base.logic_depth,
+        "logic_depth_matches_network": depth_ok,
+        "critical_path_ns_wirelength": a_base.critical_path_ns,
+        "critical_path_ns_timing_route": a_route.critical_path_ns,
+        "critical_path_ns_timing_flow": a_flow.critical_path_ns,
+        "delay_ratio_route": delay_ratio_route,
+        "delay_ratio_flow": delay_ratio_flow,
+        "delay_target": TIMING_DELAY_TARGET,
+        "delay_target_met": delay_ratio_flow <= TIMING_DELAY_TARGET,
+        "wirelength_wirelength": base.wirelength,
+        "wirelength_timing_route": timed_route.wirelength,
+        "wirelength_timing_flow": flow_route.wirelength,
+        "wirelength_reference_on_flow_placement": ref_on_flow.wirelength,
+        "timing_wl_band": TIMING_WL_BAND,
+        "timing_wl_band_ratio": wl_band_ratio,
+        "success_wirelength": base.success,
+        "success_timing_route": timed_route.success,
+        "success_timing_flow": flow_route.success,
+        "iterations_timing_route": timed_route.iterations,
+        "iterations_timing_flow": flow_route.iterations,
+        "route_timing_seconds": route_timing_s,
+        "timing_placement_seconds": place_timing_s,
+        "criticality_update_seconds": crit_update_s,
+        "ok": ok,
+    }
 
 
 def main() -> int:
-    circuit, netlist, arch = _build_workload()
+    circuit, network, netlist, arch = _build_workload()
 
     print("benchmarking simulation kernel ...")
     sim = bench_simulation(circuit)
     print("benchmarking placement kernels ...")
     placement_result, placement = bench_placement(netlist, arch)
     print("benchmarking routing kernels ...")
-    routing_result = bench_routing(netlist, arch, placement)
+    routing_result, width = bench_routing(netlist, arch, placement)
+    print("benchmarking timing-driven PAR ...")
+    timing_result = bench_timing(network, netlist, arch, placement, width)
 
     report = {
         "config": {
@@ -339,6 +447,7 @@ def main() -> int:
             "simulation": sim,
             "placement": placement_result,
             "routing": routing_result,
+            "timing": timing_result,
         },
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -355,6 +464,15 @@ def main() -> int:
                 f"wf_vs_astar={entry['speedup_wavefront_vs_astar']:5.2f}x "
                 f"wf_wl_ratio={entry['wavefront_wirelength_ratio']:.4f} "
                 f"W={entry['channel_width_used']}"
+            )
+        elif name == "timing":
+            print(
+                f"{name:11s} {flag} cp {entry['critical_path_ns_wirelength']:6.1f}ns -> "
+                f"route {entry['critical_path_ns_timing_route']:6.1f}ns / "
+                f"flow {entry['critical_path_ns_timing_flow']:6.1f}ns "
+                f"(ratio {entry['delay_ratio_flow']:.3f}, "
+                f"wl_band {entry['timing_wl_band_ratio']:.4f}, "
+                f"crit_update {entry['criticality_update_seconds'] * 1000:.1f}ms)"
             )
         elif name == "placement":
             b = entry["batched"]

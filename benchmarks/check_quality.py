@@ -10,7 +10,12 @@ benchmark shows
   reference route, or batched-placement mean HPWL vs the incremental
   kernel,
 * a broken bit-identity claim (compiled simulation vs interpreter, or the
-  ``fast``/``incremental`` kernels vs their references).
+  ``fast``/``incremental`` kernels vs their references),
+* a timing-subsystem failure: the ``objective="timing"`` runs did not
+  converge, the timing flow's critical path regressed more than 10% over
+  the default flow's, its wirelength left the 10% band of the reference
+  route on its own placement, or the STA logic depth diverged from the
+  mapped network's.
 
 The thresholds here are looser than the in-benchmark ``ok`` flags on
 purpose: this gate is about catching real regressions, not about
@@ -76,6 +81,35 @@ def check(report: dict) -> list:
             problems.append(
                 f"routing: {label} wirelength {wl_ratio:.3f}x of baseline "
                 f"(> {REGRESSION_BAND}x)"
+            )
+
+    timing = kernels.get("timing", {})
+    if not timing:
+        problems.append("timing: benchmark section missing")
+    else:
+        for key, label in (
+            ("success_timing_route", "timing-driven route"),
+            ("success_timing_flow", "timing-driven flow"),
+        ):
+            if not timing.get(key, False):
+                problems.append(f"timing: {label} did not converge")
+        if not timing.get("logic_depth_matches_network", False):
+            problems.append("timing: STA logic depth diverged from the mapped network")
+        delay_ratio = timing.get("delay_ratio_flow")
+        if delay_ratio is None:
+            problems.append("timing: flow delay ratio missing")
+        elif delay_ratio > REGRESSION_BAND:
+            problems.append(
+                f"timing: flow critical path {delay_ratio:.3f}x of the default "
+                f"flow (> {REGRESSION_BAND}x)"
+            )
+        band = timing.get("timing_wl_band_ratio")
+        if band is None:
+            problems.append("timing: wirelength band ratio missing")
+        elif band > REGRESSION_BAND:
+            problems.append(
+                f"timing: timing-route wirelength {band:.3f}x of the reference "
+                f"route (> {REGRESSION_BAND}x)"
             )
     return problems
 

@@ -62,6 +62,7 @@ class PEFlowResult:
             )
             row["routed"] = self.par.routing.success
             row["critical_path_ns"] = self.par.timing.critical_path_ns
+            row["objective"] = self.par.objective
         return row
 
 
@@ -126,12 +127,15 @@ def run_pe_flow(
     find_min_channel_width: bool = False,
     seed: int = 0,
     workers: Optional[int] = None,
+    objective: str = "wirelength",
 ) -> PEFlowResult:
     """Push a circuit through one complete flow (synthesis -> mapping -> PaR).
 
     ``workers`` parallelizes the minimum-channel-width probes of the PaR
     step over a process pool; route/placement results are memoized on disk
     when the ``REPRO_PAR_CACHE`` environment variable names a directory.
+    ``objective="timing"`` runs criticality-driven placement and routing
+    (see :func:`repro.par.flow.place_and_route`).
     """
     elapsed: Dict[str, float] = {}
 
@@ -158,6 +162,7 @@ def run_pe_flow(
             find_min_channel_width=find_min_channel_width,
             seed=seed,
             workers=workers,
+            objective=objective,
         )
         elapsed["place_and_route"] = time.perf_counter() - t0
 
@@ -180,6 +185,7 @@ def compare_pe_flows(
     find_min_channel_width: bool = False,
     seed: int = 0,
     workers: Optional[int] = None,
+    objective: str = "wirelength",
 ) -> FlowComparison:
     """Run both flows on the same Processing Element and compare them (Table I).
 
@@ -199,6 +205,7 @@ def compare_pe_flows(
         find_min_channel_width=find_min_channel_width,
         seed=seed,
         workers=workers,
+        objective=objective,
     )
     parameterized = run_pe_flow(
         circuit,
@@ -210,5 +217,6 @@ def compare_pe_flows(
         find_min_channel_width=find_min_channel_width,
         seed=seed,
         workers=workers,
+        objective=objective,
     )
     return FlowComparison(conventional=conventional, parameterized=parameterized)

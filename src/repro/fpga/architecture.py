@@ -11,8 +11,8 @@ that architecture parametrically.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterator, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Tuple
 
 __all__ = ["FPGAArchitecture", "Site", "auto_size"]
 
@@ -49,6 +49,8 @@ class FPGAArchitecture:
     fc_out: float = 1.0           #: fraction of channel wires a CLB output pin can drive
     lut_delay_ns: float = 0.4     #: intrinsic LUT delay (timing model)
     wire_delay_ns: float = 0.15   #: delay of one unit-length routing segment
+    switch_delay_ns: float = 0.05  #: delay of one programmable routing switch
+    pin_delay_ns: float = 0.05    #: connection-block pin delay (OPIN / IPIN)
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -87,17 +89,35 @@ class FPGAArchitecture:
 
     def with_channel_width(self, channel_width: int) -> "FPGAArchitecture":
         """Copy of this architecture with a different channel width."""
-        return FPGAArchitecture(
-            width=self.width,
-            height=self.height,
-            channel_width=channel_width,
-            lut_inputs=self.lut_inputs,
-            io_capacity=self.io_capacity,
-            fc_in=self.fc_in,
-            fc_out=self.fc_out,
-            lut_delay_ns=self.lut_delay_ns,
-            wire_delay_ns=self.wire_delay_ns,
-        )
+        return replace(self, channel_width=channel_width)
+
+    # -- timing model ------------------------------------------------------------
+
+    @property
+    def wire_hop_delay_ns(self) -> float:
+        """Delay of extending a route by one unit wire (switch + segment).
+
+        This is the unit the routers normalize against when blending delay
+        into the timing-driven cost: a unit-length wire then costs exactly
+        1.0 in delay terms, matching its congestion-free base cost, so the
+        Manhattan lookahead stays admissible under any criticality blend.
+        """
+        return self.wire_delay_ns + self.switch_delay_ns
+
+    def delay_model(self) -> Dict[str, float]:
+        """The per-resource delays of the timing subsystem, by element kind.
+
+        The kinds match the critical-path breakdown of
+        :mod:`repro.timing`: ``lut`` (intrinsic LUT delay), ``wire`` (one
+        unit-length segment), ``switch`` (one programmable switch) and
+        ``pin`` (one connection-block OPIN/IPIN hop).
+        """
+        return {
+            "lut": self.lut_delay_ns,
+            "wire": self.wire_delay_ns,
+            "switch": self.switch_delay_ns,
+            "pin": self.pin_delay_ns,
+        }
 
     # -- bookkeeping helpers -----------------------------------------------------
 

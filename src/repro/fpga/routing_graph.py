@@ -27,7 +27,14 @@ import numpy as np
 
 from .architecture import FPGAArchitecture
 
-__all__ = ["RRNodeType", "RRGraph", "RouterSearchView", "build_rr_graph", "RR_BASE_COST"]
+__all__ = [
+    "RRNodeType",
+    "RRGraph",
+    "RouterSearchView",
+    "build_rr_graph",
+    "RR_BASE_COST",
+    "rr_delay_ns",
+]
 
 
 class RRNodeType:
@@ -54,6 +61,27 @@ RR_BASE_COST = {
     RRNodeType.CHANX: 1.0,
     RRNodeType.CHANY: 1.0,
 }
+
+
+def rr_delay_ns(arch: FPGAArchitecture) -> Dict[int, float]:
+    """Intrinsic delay of occupying one RR node, by node type, in ns.
+
+    This is the per-resource delay model of the timing subsystem
+    (:mod:`repro.timing`): a channel wire charges one switch (to enter it)
+    plus one unit segment, pins charge the connection-block hop, and the
+    logical SOURCE/SINK endpoints are free.  The arrival time of a routed
+    connection is the sum of these node delays along its route-tree path.
+    """
+    wire = arch.wire_hop_delay_ns
+    pin = arch.pin_delay_ns
+    return {
+        RRNodeType.SOURCE: 0.0,
+        RRNodeType.SINK: 0.0,
+        RRNodeType.OPIN: pin,
+        RRNodeType.IPIN: pin,
+        RRNodeType.CHANX: wire,
+        RRNodeType.CHANY: wire,
+    }
 
 
 @dataclass
@@ -134,8 +162,11 @@ class RouterSearchView:
 
     * ``csr_ptr`` / ``csr_dst`` / ``csr_deg`` -- contiguous NumPy CSR arrays,
       the data layout of the vectorized delta-stepping ``wavefront`` kernel,
-      alongside ``xs_arr`` / ``ys_arr`` (Manhattan-lookahead tables) and
-      ``base_cost`` (congestion-free node costs, :data:`RR_BASE_COST`);
+      alongside ``xs_arr`` / ``ys_arr`` (Manhattan-lookahead tables),
+      ``base_cost`` (congestion-free node costs, :data:`RR_BASE_COST`) and
+      ``delay_ns`` (per-node intrinsic delays, :func:`rr_delay_ns` -- the
+      flat delay model consumed by the STA engine and the timing-driven
+      router objective);
     * ``adj_search`` -- per-node Python lists sliced out of the same CSR,
       the layout of the scalar heap-based ``astar`` kernel.
     """
@@ -170,6 +201,10 @@ class RouterSearchView:
         for t, c in RR_BASE_COST.items():
             base[rr.node_type == t] = c
         self.base_cost: np.ndarray = base
+        delay = np.empty(num_nodes, dtype=np.float64)
+        for t, d in rr_delay_ns(rr.arch).items():
+            delay[rr.node_type == t] = d
+        self.delay_ns: np.ndarray = delay
 
         # The scalar astar kernel walks the same filtered adjacency as Python
         # lists; slice them out of the CSR just built.

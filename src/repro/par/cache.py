@@ -37,7 +37,10 @@ from .placement import Placement
 __all__ = ["PaRCache", "ROUTE_ALGO_VERSION", "PLACE_ALGO_VERSION"]
 
 #: Bump when a routing kernel change makes cached route metrics stale.
-ROUTE_ALGO_VERSION = 2
+#: v3: route values carry the timing summary (critical_path_ns, logic_depth)
+#: next to the wirelength metrics, and keys are namespaced by the routing
+#: objective -- pre-timing v2 entries must read as misses.
+ROUTE_ALGO_VERSION = 3
 #: Bump when a placement kernel change makes cached placements stale.
 PLACE_ALGO_VERSION = 2
 
@@ -124,6 +127,7 @@ class PaRCache:
         channel_width: int,
         max_iterations: int,
         kernel: str,
+        objective: str = "wirelength",
     ) -> str:
         material = "|".join(
             (
@@ -131,7 +135,7 @@ class PaRCache:
                 _netlist_fingerprint(netlist),
                 _placement_fingerprint(placement),
                 _arch_fingerprint(arch),
-                f"w{channel_width}i{max_iterations}k{kernel}",
+                f"w{channel_width}i{max_iterations}k{kernel}o{objective}",
             )
         )
         return "route-" + hashlib.sha256(material.encode()).hexdigest()[:32]

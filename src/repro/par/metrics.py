@@ -61,14 +61,27 @@ class MinChannelWidthResult:
     min_channel_width: int
     attempts: Dict[int, bool]
     wirelength_at_min: int
+    #: STA summary (critical_path_ns, logic_depth) of the route at the
+    #: minimum width; ``None`` only for legacy cache entries that predate
+    #: the timing subsystem (the cache version bump makes those misses).
+    timing_at_min: Optional[Dict[str, float]] = None
 
     def describe(self) -> str:
         tried = ", ".join(f"W={w}:{'ok' if ok else 'fail'}" for w, ok in sorted(self.attempts.items()))
         return f"min CW = {self.min_channel_width} ({tried})"
 
 
-def _route_width_task(args: Tuple) -> Tuple[int, bool, int]:
-    """Pool worker: route at one channel width, return (width, ok, wirelength)."""
+def _route_width_task(args: Tuple) -> Tuple[int, bool, int, Optional[Dict]]:
+    """Pool worker: route at one channel width.
+
+    Returns ``(width, ok, wirelength, timing_summary)`` -- the timing
+    summary rides along so the cache keeps the delay axis next to the
+    wirelength metrics.  The STA runs only on converged routes: the search
+    spends most of its probes on deliberately-congested widths whose
+    timing would be both meaningless and wasted work.
+    """
+    from ..timing.sta import analyze
+
     netlist, placement, base_arch, width, max_iterations, kernel = args
     device = build_device(base_arch.with_channel_width(width))
     try:
@@ -77,8 +90,11 @@ def _route_width_task(args: Tuple) -> Tuple[int, bool, int]:
             max_iterations=max_iterations, kernel=kernel,
         )
     except RuntimeError:
-        return width, False, 0
-    return width, result.success, result.wirelength
+        return width, False, 0, None
+    timing = None
+    if result.success:
+        timing = analyze(netlist, result, device, placement=placement).summary()
+    return width, result.success, result.wirelength, timing
 
 
 def _interior_points(lo: int, hi: int, count: int) -> List[int]:
@@ -97,7 +113,7 @@ def minimum_channel_width(
     low: int = 2,
     high: int = 32,
     max_router_iterations: int = 12,
-    route_kernel: str = "astar",
+    route_kernel: str = "auto",
     workers: Optional[int] = None,
     cache: Optional[PaRCache] = None,
 ) -> MinChannelWidthResult:
@@ -114,28 +130,43 @@ def minimum_channel_width(
     :class:`~repro.par.cache.PaRCache` or rely on ``PaRCache.from_env()`` at
     the call site.
 
-    ``route_kernel`` defaults to ``astar`` here even though ``wavefront``
-    is the router's default: the binary search spends most of its time on
-    deliberately-congested widths below the minimum, where a probe is 15
-    iterations of non-convergent reroute storms -- the scalar kernel
-    handles those far faster, while the wavefront kernel's strength is the
-    converging route.  The two kernels agree on routability (both are
-    gated to reference-class quality), so the found width is the same.
+    ``route_kernel`` defaults to ``auto`` (pick by RR-graph size, see
+    :func:`repro.par.routing.route`), which resolves to the scalar ``astar``
+    kernel at every width the probe sweep visits below paper scale.  That is
+    the right default here even though ``wavefront`` is the router's
+    default: the binary search spends most of its time on deliberately-
+    congested widths below the minimum, where a probe is 15 iterations of
+    non-convergent reroute storms -- the scalar kernel handles those far
+    faster, while the wavefront kernel's strength is the converging route.
+    The kernels agree on routability (all are gated to reference-class
+    quality), so the found width is the same.
     """
     attempts: Dict[int, bool] = {}
     wl_at: Dict[int, int] = {}
+    timing_at: Dict[int, Dict] = {}
     pool_size = max(1, workers or 1)
 
-    def record(width: int, ok: bool, wirelength: int, from_cache: bool = False) -> None:
+    def record(
+        width: int,
+        ok: bool,
+        wirelength: int,
+        timing: Optional[Dict] = None,
+        from_cache: bool = False,
+    ) -> None:
         attempts[width] = ok
         if ok:
             wl_at[width] = wirelength
+            if timing is not None:
+                timing_at[width] = timing
         if cache is not None and not from_cache:
             key = PaRCache.route_key(
                 netlist, placement, base_arch, width,
                 max_router_iterations, route_kernel,
             )
-            cache.put(key, {"success": ok, "wirelength": wirelength})
+            value = {"success": ok, "wirelength": wirelength}
+            if timing is not None:
+                value["timing"] = timing
+            cache.put(key, value)
 
     def evaluate(widths: List[int]) -> None:
         """Route every not-yet-attempted width, via cache/pool when possible."""
@@ -150,7 +181,10 @@ def minimum_channel_width(
                 )
                 hit = cache.get(key)
                 if hit is not None:
-                    record(w, bool(hit["success"]), int(hit["wirelength"]), from_cache=True)
+                    record(
+                        w, bool(hit["success"]), int(hit["wirelength"]),
+                        timing=hit.get("timing"), from_cache=True,
+                    )
                     continue
             todo.append(w)
         if not todo:
@@ -161,12 +195,12 @@ def minimum_channel_width(
         ]
         if pool_size > 1 and len(todo) > 1:
             with ProcessPoolExecutor(max_workers=min(pool_size, len(todo))) as pool:
-                for w, ok, wl in pool.map(_route_width_task, tasks):
-                    record(w, ok, wl)
+                for w, ok, wl, timing in pool.map(_route_width_task, tasks):
+                    record(w, ok, wl, timing)
         else:
             for task in tasks:
-                w, ok, wl = _route_width_task(task)
-                record(w, ok, wl)
+                w, ok, wl, timing = _route_width_task(task)
+                record(w, ok, wl, timing)
 
     # Ensure the upper bound routes; widen if necessary.
     hi = high
@@ -196,4 +230,5 @@ def minimum_channel_width(
         min_channel_width=best,
         attempts=attempts,
         wirelength_at_min=wl_at.get(best, 0),
+        timing_at_min=timing_at.get(best),
     )

@@ -19,7 +19,9 @@ Three annealing kernels live behind :func:`place`:
   incremental kernel's inner loop).  The trajectory differs from the other
   kernels, so its quality is re-baselined instead of bit-checked: mean final
   HPWL across seeds is asserted within 2% of the incremental kernel (see
-  ``tests/test_par.py`` and ``benchmarks/bench_hotpaths.py``).
+  ``tests/test_par.py`` and ``benchmarks/bench_hotpaths.py``).  This kernel
+  also accepts per-net weights (``net_weights``), the seam the timing-driven
+  flow uses to pull criticality-weighted nets shorter.
 * ``kernel="reference"`` -- the original implementation that recomputes every
   affected net's HPWL from its full pin list; kept as the baseline for the
   hot-path benchmark and for equivalence tests.
@@ -35,7 +37,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +74,10 @@ class PlacementResult:
     moves_attempted: int
     moves_accepted: int
     temperature_steps: int
+    #: final value of the weighted annealing objective when ``net_weights``
+    #: were supplied (quantized-integer sum of weight * HPWL); ``None`` for
+    #: plain HPWL annealing, where it would equal ``cost``.
+    objective_cost: Optional[int] = None
 
     @property
     def improvement(self) -> float:
@@ -164,6 +170,7 @@ def place(
     effort: float = 1.0,
     inner_num: float = 1.0,
     kernel: str = "incremental",
+    net_weights: Optional[Sequence[float]] = None,
 ) -> PlacementResult:
     """Simulated-annealing placement (TPLACE).
 
@@ -172,11 +179,25 @@ def place(
     ``kernel`` selects the annealing inner loop (see module docstring);
     ``reference`` and ``incremental`` are trajectory-identical for a fixed
     seed, ``batched`` trades that for throughput at re-baselined quality.
+
+    ``net_weights`` (``batched`` kernel only) anneals the weighted objective
+    ``sum(weight_i * hpwl_i)`` instead of plain HPWL -- the timing-driven
+    flow passes ``1 + tradeoff * criticality`` per net so critical nets are
+    pulled shorter.  Weights are quantized to integers (see
+    :func:`_quantize_weights`), keeping the cost accounting exact;
+    :attr:`PlacementResult.cost` still reports the *unweighted* integer HPWL
+    and the weighted objective lands in
+    :attr:`PlacementResult.objective_cost`.
     """
+    if net_weights is not None and kernel != "batched":
+        raise ValueError("net_weights requires the batched placement kernel")
     if kernel == "reference":
         return _place_reference(netlist, arch, seed=seed, effort=effort, inner_num=inner_num)
     if kernel == "batched":
-        return _place_batched(netlist, arch, seed=seed, effort=effort, inner_num=inner_num)
+        return _place_batched(
+            netlist, arch, seed=seed, effort=effort, inner_num=inner_num,
+            net_weights=net_weights,
+        )
     if kernel != "incremental":
         raise ValueError(f"unknown placement kernel {kernel!r}")
 
@@ -460,12 +481,34 @@ def place(
     )
 
 
+_WEIGHT_QUANTUM = 8  #: integer sub-steps per unit of net weight
+
+
+def _quantize_weights(net_weights: Sequence[float], num_nets: int) -> List[int]:
+    """Net weights as positive integers (``_WEIGHT_QUANTUM`` steps per unit).
+
+    Integer weights keep the weighted annealing objective an exact integer
+    -- the same no-float-drift guarantee the plain-HPWL kernels carry.  The
+    quantization error is below ``1 / (2 * _WEIGHT_QUANTUM)`` per unit
+    weight, well under the noise floor of the annealer.
+    """
+    if len(net_weights) != num_nets:
+        raise ValueError(
+            f"net_weights has {len(net_weights)} entries for {num_nets} nets"
+        )
+    q = [max(1, round(float(w) * _WEIGHT_QUANTUM)) for w in net_weights]
+    if min(net_weights) < 0:
+        raise ValueError("net weights must be non-negative")
+    return q
+
+
 def _place_batched(
     netlist: PhysicalNetlist,
     arch: FPGAArchitecture,
     seed: int = 0,
     effort: float = 1.0,
     inner_num: float = 1.0,
+    net_weights: Optional[Sequence[float]] = None,
 ) -> PlacementResult:
     """Incremental-bbox annealer fed by block-drawn PCG64 randomness.
 
@@ -477,9 +520,20 @@ def _place_batched(
     list indexing, which removes the per-move ``random.Random`` call tax.
     The initial placement still comes from :func:`random_placement` with the
     same seed, so a (netlist, arch, seed) triple is fully reproducible.
+
+    With ``net_weights`` the annealed objective is the quantized-integer
+    weighted HPWL (see :func:`_quantize_weights`); every bbox update below
+    simply scales its net's cost by the integer weight, so the O(1) move
+    accounting is unchanged.
     """
     gen = np.random.Generator(np.random.PCG64(seed))
     placement = random_placement(netlist, arch, seed=seed)
+    weighted = net_weights is not None
+    wq = (
+        _quantize_weights(net_weights, len(netlist.nets))
+        if weighted
+        else [1] * len(netlist.nets)
+    )
 
     logic_blocks = [b.id for b in netlist.blocks if b.needs_logic_site]
     io_blocks = [b.id for b in netlist.blocks if b.kind == "io"]
@@ -521,10 +575,11 @@ def _place_batched(
             (xmin, xmax, ymin, ymax,
              xs.count(xmin), xs.count(xmax), ys.count(ymin), ys.count(ymax))
         )
-        cost = (xmax - xmin) + (ymax - ymin)
+        cost = wq[net.id] * ((xmax - xmin) + (ymax - ymin))
         net_cost.append(cost)
         total_cost += cost
     initial_cost = total_cost
+    initial_hpwl = hpwl(netlist, placement) if weighted else initial_cost
     nets_of_block_set = [set(lst) for lst in nets_of_block]
 
     groups: List[Tuple[List[int], List[int], int, int]] = []
@@ -731,7 +786,7 @@ def _place_batched(
                                 ymax, cymax = ny, 1
                             elif ny == ymax:
                                 cymax += 1
-                    cost = (xmax - xmin) + (ymax - ymin)
+                    cost = wq[nid] * ((xmax - xmin) + (ymax - ymin))
                     delta += cost - net_cost[nid]
                     updates.append(
                         (nid, (xmin, xmax, ymin, ymax, cxmin, cxmax, cymin, cymax), cost)
@@ -745,14 +800,14 @@ def _place_batched(
                         nb = _bbox_rescan(nid)  # both endpoints moved
                     else:
                         nb = _bbox_after_move(nid, cx, cy, nx, ny)
-                    cost = (nb[1] - nb[0]) + (nb[3] - nb[2])
+                    cost = wq[nid] * ((nb[1] - nb[0]) + (nb[3] - nb[2]))
                     delta += cost - net_cost[nid]
                     updates.append((nid, nb, cost))
                 for nid in occ_nets:
                     if nid in shared:
                         continue
                     nb = _bbox_after_move(nid, nx, ny, cx, cy)
-                    cost = (nb[1] - nb[0]) + (nb[3] - nb[2])
+                    cost = wq[nid] * ((nb[1] - nb[0]) + (nb[3] - nb[2]))
                     delta += cost - net_cost[nid]
                     updates.append((nid, nb, cost))
 
@@ -797,6 +852,19 @@ def _place_batched(
         if gi >= 0:
             placement.block_site[bid] = all_sites[gi]
 
+    if weighted:
+        # Report the unweighted exact-int HPWL (the metric every consumer
+        # compares across kernels); the annealed weighted objective rides
+        # along separately.
+        return PlacementResult(
+            placement=placement,
+            cost=hpwl(netlist, placement),
+            initial_cost=initial_hpwl,
+            moves_attempted=moves_attempted,
+            moves_accepted=moves_accepted,
+            temperature_steps=temperature_steps,
+            objective_cost=total_cost,
+        )
     return PlacementResult(
         placement=placement,
         cost=total_cost,

@@ -5,7 +5,10 @@ routing-resource graph with an A*-guided Dijkstra search; congestion is
 resolved by iteratively re-routing nets through overused nodes while the
 present-congestion penalty grows and a history cost accumulates (PathFinder).
 
-Four search kernels live behind :func:`route`:
+Four search kernels live behind :func:`route` (plus ``kernel="auto"``,
+which picks between the directed kernels by RR-graph size, and the opt-in
+``objective="timing"`` that blends STA criticalities into the directed
+kernels' costs -- see :func:`route`):
 
 * ``kernel="wavefront"`` (default) -- vectorized delta-stepping PathFinder.
   Connection searches run *batched* on a continuous slot pipeline: up to
@@ -58,7 +61,7 @@ from ..fpga.routing_graph import RR_BASE_COST, RRGraph, RRNodeType
 from .netlist import PhysicalNetlist
 from .placement import Placement
 
-__all__ = ["RoutingResult", "route", "NetRoute"]
+__all__ = ["RoutingResult", "route", "NetRoute", "terminal_rr_nodes"]
 
 
 @dataclass
@@ -67,6 +70,13 @@ class NetRoute:
 
     net_id: int
     nodes: List[int] = field(default_factory=list)
+    #: ordered per-sink connections ``(sink_rr, path, attach)`` as the
+    #: directed kernels build them -- ``path`` lists the nodes the
+    #: connection added (sink first), ``attach`` is the tree node it grew
+    #: from.  The STA engine walks these for exact per-sink delays; kernels
+    #: that do not track connections (fast/reference) leave it ``None`` and
+    #: the engine falls back to a BFS over the tree's nodes.
+    connections: Optional[List[Tuple[int, List[int], int]]] = None
 
     def wire_nodes(self, rr: RRGraph) -> List[int]:
         return [n for n in self.nodes if rr.is_wire(n)]
@@ -100,13 +110,30 @@ _BASE_COST = RR_BASE_COST
 #: one IPIN plus one SINK at base cost (congestion only ever adds to it).
 #: Folding it into the A* lookahead makes the bound nearly tight, which
 #: collapses the otherwise-huge tie plateau across the W parallel track grids.
+#: Under the timing objective the floor scales by ``1 - criticality``: only
+#: the congestion share of the blended cost is bounded below by the base
+#: costs, while the delay share of a pin can be arbitrarily small.
 _PIN_FLOOR = _BASE_COST[RRNodeType.IPIN] + _BASE_COST[RRNodeType.SINK]
 
+#: ``kernel="auto"`` crossover: the vectorized wavefront kernel's NumPy
+#: round dispatch (~100 us/round) only amortizes once searches carry enough
+#: simultaneous labels, which the bench-scale graphs (~42.5k RR nodes, where
+#: the scalar astar kernel measured ~4.5x faster) do not offer.  Below this
+#: node count ``auto`` resolves to ``astar``; at and above it, to
+#: ``wavefront``.  Re-measure at paper scale (REPRO_FULL nightly) before
+#: trusting the exact value -- see ROADMAP.
+WAVEFRONT_AUTO_MIN_NODES = 120_000
 
-def _terminal_nodes(
+
+def terminal_rr_nodes(
     netlist: PhysicalNetlist, placement: Placement, rr: RRGraph
 ) -> Tuple[Dict[int, int], Dict[int, int]]:
-    """Map each block to its SOURCE and SINK RR nodes."""
+    """Map each placed block to its (SOURCE, SINK) RR nodes.
+
+    The one canonical block -> RR terminal mapping: the router keys its
+    searches on it and the timing subsystem keys its per-connection
+    criticalities on the same sink ids, so both must always agree.
+    """
     src_of: Dict[int, int] = {}
     sink_of: Dict[int, int] = {}
     for block in netlist.blocks:
@@ -142,11 +169,16 @@ def route(
     bbox_margin: int = 3,
     delta: float = 6.0,
     batch: int = 8,
+    objective: str = "wirelength",
+    max_criticality: float = 0.95,
+    criticality_exponent: float = 1.0,
 ) -> RoutingResult:
     """Route all nets of a placed netlist on the device's RR graph.
 
-    ``kernel`` selects the wavefront implementation (see module docstring).
-    ``fast`` and ``reference`` return identical routes; ``astar`` and
+    ``kernel`` selects the wavefront implementation (see module docstring);
+    ``kernel="auto"`` resolves to ``astar`` below
+    :data:`WAVEFRONT_AUTO_MIN_NODES` RR nodes and ``wavefront`` at or above
+    it.  ``fast`` and ``reference`` return identical routes; ``astar`` and
     ``wavefront`` (the default) are the re-baselined directed kernels of
     equivalent route quality.  ``bbox_margin`` is the expansion margin of
     the per-net search bounding box used by the ``astar``/``wavefront``
@@ -161,7 +193,30 @@ def route(
     3.0 for ``wavefront`` -- the batched first iteration prices congestion
     harder still, taking small detours early while they are cheap instead
     of deep negotiation holes later.
+
+    ``objective="timing"`` (``astar``/``wavefront`` only) switches the
+    connection searches to the VPR-style timing-driven cost
+    ``crit * delay + (1 - crit) * congestion``: per-connection
+    criticalities start from a placement-distance STA estimate and are
+    refreshed from the actual route trees after every PathFinder iteration
+    (:class:`repro.timing.sta.CriticalityTracker`).  Delays are normalized
+    by the architecture's unit-wire hop delay, so a unit wire costs exactly
+    1.0 under any blend and the Manhattan lookahead stays admissible.
+    ``max_criticality`` keeps every connection paying a slice of the
+    congestion cost; ``criticality_exponent`` sharpens the blend.
     """
+    if kernel == "auto":
+        kernel = (
+            "wavefront"
+            if device.rr_graph.num_nodes >= WAVEFRONT_AUTO_MIN_NODES
+            else "astar"
+        )
+    if objective not in ("wirelength", "timing"):
+        raise ValueError(f"unknown routing objective {objective!r}")
+    if objective == "timing" and kernel not in ("astar", "wavefront"):
+        raise ValueError(
+            f"objective='timing' requires the astar or wavefront kernel, not {kernel!r}"
+        )
     if kernel == "reference":
         return _route_reference(
             netlist, placement, device,
@@ -175,7 +230,9 @@ def route(
             max_iterations=max_iterations,
             pres_fac_init=1.0 if pres_fac_init is None else pres_fac_init,
             pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
-            bbox_margin=bbox_margin,
+            bbox_margin=bbox_margin, objective=objective,
+            max_criticality=max_criticality,
+            criticality_exponent=criticality_exponent,
         )
     if kernel == "wavefront":
         return _route_wavefront(
@@ -184,6 +241,8 @@ def route(
             pres_fac_init=3.0 if pres_fac_init is None else pres_fac_init,
             pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
             bbox_margin=bbox_margin, delta=delta, batch=batch,
+            objective=objective, max_criticality=max_criticality,
+            criticality_exponent=criticality_exponent,
         )
     if kernel != "fast":
         raise ValueError(f"unknown routing kernel {kernel!r}")
@@ -205,6 +264,9 @@ def _route_astar(
     hist_fac: float = 0.4,
     astar_fac: float = 1.1,
     bbox_margin: int = 3,
+    objective: str = "wirelength",
+    max_criticality: float = 0.95,
+    criticality_exponent: float = 1.0,
 ) -> RoutingResult:
     """Directed incremental PathFinder over the pin-filtered search view."""
     rr = device.rr_graph
@@ -215,6 +277,27 @@ def _route_astar(
     cap_arr = rr.node_capacity.astype(np.int32)
     history = np.zeros(num_nodes, dtype=np.float64)
 
+    # Timing objective: per-connection criticalities blend a normalized
+    # delay cost into the congestion cost (crit * delay + (1-crit) * cong).
+    # The normalization makes a unit wire cost exactly 1.0 in delay terms,
+    # so the Manhattan lookahead below stays admissible under any blend.
+    timing_mode = objective == "timing"
+    if timing_mode:
+        from ..timing.sta import CriticalityTracker
+
+        tracker = CriticalityTracker(
+            netlist, placement, device,
+            max_criticality=max_criticality, exponent=criticality_exponent,
+        )
+        crit_of = tracker.initial()
+        delay_l: List[float] = (
+            view.delay_ns / device.arch.wire_hop_delay_ns
+        ).tolist()
+    else:
+        tracker = None
+        crit_of = {}
+        delay_l = []
+
     xs, ys = view.xs, view.ys
     types = view.types
     adj = view.adj_search
@@ -222,7 +305,7 @@ def _route_astar(
     entries_of = view.entries_of
     occupancy = [0] * num_nodes
 
-    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+    src_of, sink_of = terminal_rr_nodes(netlist, placement, rr)
 
     routes: Dict[int, NetRoute] = {}
     net_terms: Dict[int, Tuple[int, List[int]]] = {}
@@ -276,19 +359,29 @@ def _route_astar(
 
     def _search(
         target: int, tree: List[int], gen: int,
-        bounds: Tuple[int, int, int, int], fac: float,
+        bounds: Tuple[int, int, int, int], fac: float, crt: float = 0.0,
     ) -> bool:
-        """One directed wavefront from the route tree to ``target``."""
+        """One directed wavefront from the route tree to ``target``.
+
+        ``crt`` is the connection's criticality under the timing objective
+        (0.0 in wirelength mode): every node cost blends to
+        ``(1-crt) * congestion + crt * delay``.
+        """
         # Bind the hot closure variables as locals: the expansion loop below
         # runs millions of times per route and LOAD_FAST is measurably
         # cheaper than LOAD_DEREF.
         xs_l, ys_l, adj_l, cost_l = xs, ys, adj, cost
         visited_l, csf_l, prev_l = visited_gen, cost_so_far, prev_node
         push, pop = heappush, heappop
+        dly_l = delay_l
+        omc = 1.0 - crt
+        pf = _PIN_FLOOR if crt == 0.0 else omc * _PIN_FLOOR
         xlo, xhi, ylo, yhi = bounds
         tx, ty = xs_l[target], ys_l[target]
         entry_get = entries_of(target).get
         t_cost = cost_l[target]
+        if crt:
+            t_cost = omc * t_cost + crt * dly_l[target]
         best = float("inf")  # cheapest known completion through the entry map
         heap: List[Tuple[float, float, int]] = []
 
@@ -298,11 +391,19 @@ def _route_astar(
             ips = entry_get(w)
             if ips is None:
                 return
-            ip = ips[0]
-            c = cost_l[ip]
-            for q in ips[1:]:
-                if cost_l[q] < c:
-                    ip, c = q, cost_l[q]
+            if crt:
+                ip = ips[0]
+                c = omc * cost_l[ip] + crt * dly_l[ip]
+                for q in ips[1:]:
+                    cq = omc * cost_l[q] + crt * dly_l[q]
+                    if cq < c:
+                        ip, c = q, cq
+            else:
+                ip = ips[0]
+                c = cost_l[ip]
+                for q in ips[1:]:
+                    if cost_l[q] < c:
+                        ip, c = q, cost_l[q]
             total = g_w + c + t_cost
             if total < best - 1e-12:
                 best = total
@@ -371,7 +472,10 @@ def _route_astar(
                 chase_g = 0.0
                 chase_m = -1
                 for m in adj_l[n]:
-                    new_cost = g + cost_l[m]
+                    cm = cost_l[m]
+                    if crt:
+                        cm = omc * cm + crt * dly_l[m]
+                    new_cost = g + cm
                     if visited_l[m] == gen and new_cost >= csf_l[m] - 1e-12:
                         continue  # already reached at least as cheaply
                     x = xs_l[m]
@@ -396,11 +500,11 @@ def _route_astar(
                         prev_l[m] = n
                         complete(m, new_cost)
                         f_m = new_cost + d * fac
-                        if new_cost + d + _PIN_FLOOR >= best or f_m >= best:
+                        if new_cost + d + pf >= best or f_m >= best:
                             continue
                     else:
                         f_m = new_cost + d * fac
-                        if f_m >= best or new_cost + d + _PIN_FLOOR >= best:
+                        if f_m >= best or new_cost + d + pf >= best:
                             continue  # cannot beat the known completion
                         visited_l[m] = gen
                         csf_l[m] = new_cost
@@ -444,13 +548,14 @@ def _route_astar(
                 bump(target, 1)
                 conns.append((target, [], target))
                 continue
+            crt = crit_of.get((net_id, target), 0.0) if timing_mode else 0.0
             # A too-tight box can starve a congested net of detour room;
             # escalate to the net terminal box and then the whole device
             # before giving up.
             found = False
             for box in escalation:
                 generation += 1
-                if _search(target, tree, generation, box, astar_fac):
+                if _search(target, tree, generation, box, astar_fac, crt):
                     found = True
                     break
             if not found:
@@ -472,10 +577,11 @@ def _route_astar(
             conns.append((target, path, n))
 
     def _net_route_of(net_id: int) -> NetRoute:
+        conns = net_conns[net_id]
         nodes = [net_terms[net_id][0]]
-        for _, path, _ in net_conns[net_id]:
+        for _, path, _ in conns:
             nodes.extend(path)
-        return NetRoute(net_id, nodes)
+        return NetRoute(net_id, nodes, connections=list(conns))
 
     def route_net(net_id: int) -> None:
         source, sinks = net_terms[net_id]
@@ -563,6 +669,10 @@ def _route_astar(
         for n in over_now:
             history[n] += hist_fac * (occupancy[n] - cap[n])
         pres_fac *= pres_fac_mult
+        if timing_mode:
+            # Re-time the current route trees: the next iteration's
+            # re-routes price against fresh criticalities.
+            crit_of = tracker.update(routes)
 
     occ_arr = np.asarray(occupancy, dtype=np.int32)
     return _assemble_result(rr, routes, occ_arr, cap_arr, success, iteration)
@@ -580,6 +690,9 @@ def _route_wavefront(
     bbox_margin: int = 3,
     delta: float = 6.0,
     batch: int = 8,
+    objective: str = "wirelength",
+    max_criticality: float = 0.95,
+    criticality_exponent: float = 1.0,
 ) -> RoutingResult:
     """Vectorized delta-stepping PathFinder over the CSR search view.
 
@@ -634,7 +747,26 @@ def _route_wavefront(
     pres_fac = pres_fac_init
     fac = astar_fac
 
-    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+    # Timing objective: per-slot criticalities blend the normalized delay
+    # vector into the congestion cost at edge-pricing time (see the astar
+    # kernel for the admissibility argument -- a unit wire's delay is
+    # normalized to exactly 1.0).
+    timing_mode = objective == "timing"
+    if timing_mode:
+        from ..timing.sta import CriticalityTracker
+
+        tracker = CriticalityTracker(
+            netlist, placement, device,
+            max_criticality=max_criticality, exponent=criticality_exponent,
+        )
+        crit_of = tracker.initial()
+        delay_arr = view.delay_ns / device.arch.wire_hop_delay_ns
+    else:
+        tracker = None
+        crit_of = {}
+        delay_arr = None
+
+    src_of, sink_of = terminal_rr_nodes(netlist, placement, rr)
 
     routes: Dict[int, NetRoute] = {}
     net_terms: Dict[int, Tuple[int, List[int]]] = {}
@@ -716,6 +848,8 @@ def _route_wavefront(
     s_best = np.full(nslots, np.inf)
     s_bwire = np.full(nslots, -1, dtype=np.int64)
     s_bipin = np.full(nslots, -1, dtype=np.int64)
+    s_crit = np.zeros(nslots)          #: per-slot connection criticality
+    s_pfl = np.full(nslots, _PIN_FLOOR)  #: per-slot (1-crit)-scaled pin floor
     bucket = np.full(nslots, np.inf)
     ew_flat2 = np.full((nslots, esz), trash, dtype=np.int64)
     ew_pc2 = np.full((nslots, esz), np.inf)
@@ -819,7 +953,15 @@ def _route_wavefront(
             row = ew_flat2[s]
             row[:k] = base_s + wires
             row[k:] = trash
-            ew_pc2[s, :k] = cost[ipins] + cost[target]
+            if timing_mode:
+                crt = crit_of.get((work.net_id, target), 0.0)
+                s_crit[s] = crt
+                s_pfl[s] = (1.0 - crt) * _PIN_FLOOR
+                ew_pc2[s, :k] = (1.0 - crt) * (cost[ipins] + cost[target]) + crt * (
+                    delay_arr[ipins] + delay_arr[target]
+                )
+            else:
+                ew_pc2[s, :k] = cost[ipins] + cost[target]
             ew_pc2[s, k:] = np.inf
             ew_wire2[s, :k] = wires
             ew_ipin2[s, :k] = ipins
@@ -1087,7 +1229,12 @@ def _route_wavefront(
             )
             m = csr_dst[eidx]
             esl = np.repeat(a_slots, deg)
-            e_g = np.repeat(a_g, deg) + cost[m]
+            if timing_mode:
+                c_e = s_crit[esl]
+                edge_cost = (1.0 - c_e) * cost[m] + c_e * delay_arr[m]
+            else:
+                edge_cost = cost[m]
+            e_g = np.repeat(a_g, deg) + edge_cost
             ex = xs[m]
             ey = ys[m]
             dist = np.abs(ex - s_tx[esl]) + np.abs(ey - s_ty[esl])
@@ -1095,14 +1242,15 @@ def _route_wavefront(
             # heap key and the strictly admissible pin-floor bound.  They
             # are NOT folded into one (a pin floor on top of the 1.1
             # overweight over-prunes free-track detours -- measured quality
-            # loss).
+            # loss).  The pin floor is per-slot: scaled by (1 - crit) under
+            # the timing objective.
             e_f = e_g + dist * fac
             best_e = s_best[esl]
             keep = (
                 (ex >= s_xlo[esl]) & (ex <= s_xhi[esl])
                 & (ey >= s_ylo[esl]) & (ey <= s_yhi[esl])
                 & (e_f < best_e - 1e-12)
-                & (e_g + dist + _PIN_FLOOR < best_e - 1e-12)
+                & (e_g + dist + s_pfl[esl] < best_e - 1e-12)
             )
             if not keep.any():
                 continue
@@ -1151,10 +1299,11 @@ def _route_wavefront(
                     scan_slot(s)
 
     def _net_route_of(net_id: int) -> NetRoute:
+        conns = net_conns[net_id]
         nodes = [net_terms[net_id][0]]
-        for _, path, _ in net_conns[net_id]:
+        for _, path, _ in conns:
             nodes.extend(path)
-        return NetRoute(net_id, nodes)
+        return NetRoute(net_id, nodes, connections=list(conns))
 
     iteration = 0
     success = False
@@ -1276,6 +1425,10 @@ def _route_wavefront(
         over_nodes = np.nonzero(over_mask)[0]
         history[over_nodes] += hist_fac * (occupancy[over_nodes] - cap_arr[over_nodes])
         pres_fac *= pres_fac_mult
+        if timing_mode:
+            # Re-time the current route trees: the next iteration's
+            # re-routes price against fresh criticalities.
+            crit_of = tracker.update(routes)
 
     return _assemble_result(
         rr, routes, occupancy.astype(np.int32), cap_arr.astype(np.int32),
@@ -1311,7 +1464,7 @@ def _route_fast(
     adj = [dst[ptr[i]: ptr[i + 1]] for i in range(num_nodes)]
     occupancy = [0] * num_nodes
 
-    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+    src_of, sink_of = terminal_rr_nodes(netlist, placement, rr)
 
     routes: Dict[int, NetRoute] = {}
     net_terms: Dict[int, Tuple[int, List[int]]] = {}
@@ -1489,7 +1642,7 @@ def _route_reference(
     edge_ptr = rr.edge_ptr
     edge_dst = rr.edge_dst
 
-    src_of, sink_of = _terminal_nodes(netlist, placement, rr)
+    src_of, sink_of = terminal_rr_nodes(netlist, placement, rr)
 
     routes: Dict[int, NetRoute] = {}
     net_terms: Dict[int, Tuple[int, List[int]]] = {}

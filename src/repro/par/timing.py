@@ -1,22 +1,26 @@
-"""Post-PaR timing analysis.
+"""Post-PaR timing analysis (legacy wrapper over :mod:`repro.timing`).
 
-A simple static timing analysis over the mapped network using the
-architecture's LUT and wire-segment delays plus the actual routed wire counts
-per connection.  The paper reports logic-depth levels rather than nanosecond
-delays; both are provided here.
+Historically this module carried its own coarse wire-count estimate; it is
+now a thin wrapper over the vectorized STA engine in :mod:`repro.timing`,
+which times every routed connection exactly along its route-tree path.  The
+:class:`TimingReport` fields are unchanged, and ``logic_depth`` remains
+bit-compatible with the mapped network's LUT depth (the quantity of the
+paper's Table I).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..fpga.device import Device
-from ..techmap.mapping import MappedNetwork, NodeKind
+from ..techmap.mapping import MappedNetwork
+from ..timing.sta import TimingAnalysis, analyze
 from .netlist import PhysicalNetlist
+from .placement import Placement
 from .routing import RoutingResult
 
-__all__ = ["TimingReport", "analyze_timing"]
+__all__ = ["TimingReport", "analyze_timing", "report_from_analysis"]
 
 
 @dataclass
@@ -24,7 +28,7 @@ class TimingReport:
     """Critical-path summary."""
 
     logic_depth: int               #: LUT levels on the longest path
-    critical_path_ns: float        #: estimated delay using LUT + routed wire delays
+    critical_path_ns: float        #: delay along the routed critical path
     mean_net_wirelength: float     #: average wires per routed net
     max_net_wirelength: int
 
@@ -37,70 +41,46 @@ class TimingReport:
         }
 
 
+def report_from_analysis(
+    analysis: TimingAnalysis,
+    network: MappedNetwork,
+    routing: Optional[RoutingResult],
+    device: Device,
+) -> TimingReport:
+    """Fold a full STA analysis into the legacy :class:`TimingReport`.
+
+    ``logic_depth`` comes from the mapped network's own levelization (the
+    seed implementation's exact recursion), keeping the Table I depth column
+    bit-compatible even for parameterized networks whose multi-input TCONs
+    are resolved to a single representative wire in the physical netlist.
+    """
+    net_wires = []
+    if routing is not None:
+        rr = device.rr_graph
+        net_wires = [len(r.wire_nodes(rr)) for r in routing.routes.values()]
+    mean_wl = sum(net_wires) / len(net_wires) if net_wires else 0.0
+    max_wl = max(net_wires) if net_wires else 0
+    return TimingReport(
+        logic_depth=network.depth(),
+        critical_path_ns=analysis.critical_path_ns,
+        mean_net_wirelength=mean_wl,
+        max_net_wirelength=max_wl,
+    )
+
+
 def analyze_timing(
     network: MappedNetwork,
     netlist: PhysicalNetlist,
     routing: Optional[RoutingResult],
     device: Device,
+    placement: Optional[Placement] = None,
 ) -> TimingReport:
-    """Estimate the critical path of a placed-and-routed mapped network."""
-    arch = device.arch
-    rr = device.rr_graph
+    """Estimate the critical path of a placed-and-routed mapped network.
 
-    # Wire count per net (0 when unrouted / no routing supplied).
-    net_wires: Dict[int, int] = {}
-    if routing is not None:
-        for nid, net_route in routing.routes.items():
-            net_wires[nid] = len(net_route.wire_nodes(rr))
-
-    # Map every mapped node to the net its output drives (by driver block).
-    node_to_block = {b.mapped_node: b.id for b in netlist.blocks if b.mapped_node is not None}
-    driver_net: Dict[int, int] = {}
-    for net in netlist.nets:
-        driver_net[net.driver] = net.id
-
-    def wire_delay_of(mapped_node: int) -> float:
-        block = node_to_block.get(mapped_node)
-        if block is None:
-            return 0.0
-        nid = driver_net.get(block)
-        if nid is None:
-            return 0.0
-        wires = net_wires.get(nid)
-        if wires is None:
-            return arch.wire_delay_ns  # unrouted estimate: one segment
-        # Approximate per-sink delay by the average segment count per sink.
-        sinks = max(1, len(netlist.nets[nid].sinks))
-        return arch.wire_delay_ns * (wires / sinks)
-
-    arrival: List[float] = [0.0] * len(network.nodes)
-    level: List[int] = [0] * len(network.nodes)
-    for nid, node in enumerate(network.nodes):
-        if node.kind in (NodeKind.LUT, NodeKind.TLUT):
-            incoming = max(
-                (arrival[i] + wire_delay_of(i) for i in node.inputs), default=0.0
-            )
-            arrival[nid] = incoming + arch.lut_delay_ns
-            level[nid] = 1 + max((level[i] for i in node.inputs), default=0)
-        elif node.kind == NodeKind.TCON:
-            arrival[nid] = max(
-                (arrival[i] + wire_delay_of(i) for i in node.inputs), default=0.0
-            )
-            level[nid] = max((level[i] for i in node.inputs), default=0)
-
-    if network.outputs:
-        crit = max(arrival[n] + wire_delay_of(n) for n in network.outputs.values())
-        depth = max(level[n] for n in network.outputs.values())
-    else:
-        crit, depth = 0.0, 0
-
-    wires_list = list(net_wires.values())
-    mean_wl = sum(wires_list) / len(wires_list) if wires_list else 0.0
-    max_wl = max(wires_list) if wires_list else 0
-
-    return TimingReport(
-        logic_depth=depth,
-        critical_path_ns=crit,
-        mean_net_wirelength=mean_wl,
-        max_net_wirelength=max_wl,
-    )
+    Thin wrapper over :func:`repro.timing.analyze`.  ``placement`` sharpens
+    the engine's estimates for unrouted nets (and is required for exact
+    route-tree timing -- without it the engine falls back to structural
+    one-hop estimates, matching the seed implementation's unrouted view).
+    """
+    analysis = analyze(netlist, routing, device, placement=placement)
+    return report_from_analysis(analysis, network, routing, device)

@@ -1,0 +1,52 @@
+"""Static timing analysis over placed-and-routed physical netlists.
+
+The subsystem has three layers:
+
+* :mod:`repro.timing.graph` -- the levelized timing graph: one timing node
+  per physical block, one timing edge per routed connection (net driver ->
+  net sink), all stored as flat NumPy arrays grouped by topological level so
+  the arrival/required scans run as a handful of vector operations per
+  level.
+* :mod:`repro.timing.delays` -- connection-delay extraction: exact per-sink
+  delays (and wire/switch/pin element counts) walked out of the router's
+  route trees against the architecture's per-resource delay model
+  (:func:`repro.fpga.routing_graph.rr_delay_ns`), with placement-distance
+  and structural estimates as pre-route fallbacks.
+* :mod:`repro.timing.sta` -- the engine: arrival / required / slack /
+  per-connection criticality, full critical-path extraction with a
+  per-element (LUT / wire / switch / pin) breakdown, and the
+  :class:`~repro.timing.sta.CriticalityTracker` that feeds criticalities
+  back into the timing-driven router objective each PathFinder iteration.
+
+:func:`analyze` is the one-call entry point used by the PAR flow and the
+legacy :func:`repro.par.timing.analyze_timing` wrapper.
+"""
+
+from .delays import (
+    estimated_edge_delays,
+    routed_edge_delays,
+    structural_edge_delays,
+)
+from .graph import TimingGraph, build_timing_graph
+from .sta import (
+    CriticalityTracker,
+    CriticalPathElement,
+    TimingAnalysis,
+    analyze,
+    net_criticality_from_placement,
+    structural_net_criticality,
+)
+
+__all__ = [
+    "TimingGraph",
+    "build_timing_graph",
+    "routed_edge_delays",
+    "estimated_edge_delays",
+    "structural_edge_delays",
+    "TimingAnalysis",
+    "CriticalPathElement",
+    "CriticalityTracker",
+    "analyze",
+    "structural_net_criticality",
+    "net_criticality_from_placement",
+]

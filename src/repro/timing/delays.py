@@ -1,0 +1,220 @@
+"""Connection-delay models: routed, placement-estimated, structural.
+
+The timing graph's edge delays come from one of three sources, in decreasing
+order of fidelity:
+
+* :func:`routed_edge_delays` -- exact per-sink delays walked out of the
+  router's route trees.  Each connection's delay is the sum of the
+  per-resource node delays (:func:`repro.fpga.routing_graph.rr_delay_ns`)
+  along the unique tree path from the net's SOURCE to that sink, and the
+  walk also counts the wire / switch / pin elements so the critical-path
+  breakdown can itemize them.  Route trees that carry the router's
+  connection list (``NetRoute.connections``, the astar/wavefront kernels)
+  are walked exactly; plain node-list trees fall back to a BFS over the RR
+  adjacency restricted to the tree's nodes.
+* :func:`estimated_edge_delays` -- pre-route estimate from placement:
+  Manhattan distance in unit wires plus the pin hops.  This seeds the
+  timing-driven router's first iteration.
+* :func:`structural_edge_delays` -- no placement at all: every connection
+  costs one wire hop plus pins.  This is the pre-placement estimate the
+  criticality-weighted placer anneals against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..fpga.device import Device
+from ..par.netlist import PhysicalNetlist
+from ..par.placement import Placement
+from .graph import TimingGraph
+
+__all__ = [
+    "sink_rr_of_blocks",
+    "routed_edge_delays",
+    "routed_wirecount_edge_delays",
+    "estimated_edge_delays",
+    "structural_edge_delays",
+]
+
+
+def sink_rr_of_blocks(
+    netlist: PhysicalNetlist, placement: Placement, device: Device
+) -> Dict[int, int]:
+    """Map every placed block to its SINK RR node.
+
+    Delegates to the router's canonical terminal mapping
+    (:func:`repro.par.routing.terminal_rr_nodes`) so the criticality keys
+    the tracker hands back are guaranteed to match the sink ids the router
+    searches for.
+    """
+    from ..par.routing import terminal_rr_nodes
+
+    _src_of, sink_of = terminal_rr_nodes(netlist, placement, device.rr_graph)
+    return sink_of
+
+
+def _walk_connections(conns, delay_ns, is_wire, is_pin, acc):
+    """Accumulate (delay, wires, pins) per tree node from a connection list.
+
+    ``conns`` is the router's ordered ``(target, path, attach)`` list: every
+    path's nodes hang off ``attach`` (already accumulated), target first.
+    """
+    for target, path, attach in conns:
+        if not path:
+            # Duplicate sink: the target node is already in the tree.
+            continue
+        base = acc.get(attach)
+        if base is None:
+            continue
+        d, w, p = base
+        for n in reversed(path):
+            d = d + float(delay_ns[n])
+            if is_wire[n]:
+                w += 1
+            elif is_pin[n]:
+                p += 1
+            acc[n] = (d, w, p)
+
+
+def _walk_bfs(nodes, source, fanouts, delay_ns, is_wire, is_pin, acc):
+    """BFS fallback over the RR adjacency restricted to the tree's nodes."""
+    node_set = set(nodes)
+    acc[source] = (0.0, 0, 0)
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            du, wu, pu = acc[u]
+            for v in fanouts(u):
+                v = int(v)
+                if v in node_set and v not in acc:
+                    acc[v] = (
+                        du + float(delay_ns[v]),
+                        wu + (1 if is_wire[v] else 0),
+                        pu + (1 if is_pin[v] else 0),
+                    )
+                    nxt.append(v)
+        frontier = nxt
+
+
+def routed_edge_delays(
+    graph: TimingGraph,
+    routes: Dict[int, object],
+    placement: Placement,
+    device: Device,
+    fallback: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact edge delays (and wire / pin counts) from route trees.
+
+    Returns ``(edge_delay, edge_wires, edge_pins)`` aligned with the graph's
+    edge arrays.  Connections whose net has no route tree fall back to
+    ``fallback`` (default: the placement estimate).
+    """
+    from ..fpga.routing_graph import RRNodeType
+
+    rr = device.rr_graph
+    view = rr.search_view()
+    delay_ns = view.delay_ns
+    ntype = rr.node_type
+    is_wire = (ntype == RRNodeType.CHANX) | (ntype == RRNodeType.CHANY)
+    is_pin = (ntype == RRNodeType.OPIN) | (ntype == RRNodeType.IPIN)
+
+    if fallback is None:
+        fallback = estimated_edge_delays(graph, placement, device.arch)[0]
+    edge_delay = fallback.copy()
+    edge_wires = np.zeros(graph.num_edges, dtype=np.int32)
+    edge_pins = np.zeros(graph.num_edges, dtype=np.int32)
+
+    sink_of = sink_rr_of_blocks(graph.netlist, placement, device)
+
+    # Per-net accumulated (delay, wires, pins) at every tree node.
+    per_net: Dict[int, Dict[int, Tuple[float, int, int]]] = {}
+    for nid, net_route in routes.items():
+        nodes = net_route.nodes
+        if not nodes:
+            continue
+        acc: Dict[int, Tuple[float, int, int]] = {}
+        conns = getattr(net_route, "connections", None)
+        if conns is not None:
+            acc[nodes[0]] = (0.0, 0, 0)
+            _walk_connections(conns, delay_ns, is_wire, is_pin, acc)
+        else:
+            _walk_bfs(nodes, nodes[0], rr.fanouts, delay_ns, is_wire, is_pin, acc)
+        per_net[int(nid)] = acc
+
+    for i in range(graph.num_edges):
+        acc = per_net.get(int(graph.edge_net[i]))
+        if acc is None:
+            continue
+        srr = sink_of.get(int(graph.edge_dst[i]))
+        if srr is None:
+            continue
+        hit = acc.get(srr)
+        if hit is None:
+            continue
+        edge_delay[i], edge_wires[i], edge_pins[i] = hit
+    return edge_delay, edge_wires, edge_pins
+
+
+def routed_wirecount_edge_delays(
+    graph: TimingGraph, routes: Dict[int, object], device: Device
+) -> np.ndarray:
+    """Per-net average-wires-per-sink estimate (routes without placement).
+
+    Without a placement the block -> SINK-RR mapping is unknown, so exact
+    per-sink tree walks are impossible -- but the route trees still carry
+    each net's total wire count.  This is the seed implementation's model:
+    every connection of a net charges the net's wires divided by its sink
+    count, so two routings of different wirelength yield different critical
+    paths even in this degraded mode.
+    """
+    from ..fpga.routing_graph import RRNodeType
+
+    rr = device.rr_graph
+    arch = device.arch
+    ntype = rr.node_type
+    is_wire = (ntype == RRNodeType.CHANX) | (ntype == RRNodeType.CHANY)
+    wires_per_sink: Dict[int, float] = {}
+    for nid, net_route in routes.items():
+        wires = sum(1 for n in net_route.nodes if is_wire[n])
+        sinks = max(1, len(graph.netlist.nets[int(nid)].sinks))
+        wires_per_sink[int(nid)] = wires / sinks
+    unit = arch.wire_hop_delay_ns
+    edge_delay = np.full(graph.num_edges, 2.0 * arch.pin_delay_ns + unit)
+    for i in range(graph.num_edges):
+        per_sink = wires_per_sink.get(int(graph.edge_net[i]))
+        if per_sink is not None:
+            edge_delay[i] = 2.0 * arch.pin_delay_ns + max(1.0, per_sink) * unit
+    return edge_delay
+
+
+def estimated_edge_delays(
+    graph: TimingGraph, placement: Placement, arch
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Placement-distance delay estimate: one unit wire per Manhattan unit.
+
+    Every connection charges two pin hops (OPIN + IPIN) plus at least one
+    wire hop -- the router cannot connect two blocks with fewer resources.
+    """
+    num_edges = graph.num_edges
+    xs = np.zeros(graph.num_nodes, dtype=np.int64)
+    ys = np.zeros(graph.num_nodes, dtype=np.int64)
+    for bid, site in placement.block_site.items():
+        xs[bid] = site.x
+        ys[bid] = site.y
+    dist = np.abs(xs[graph.edge_src] - xs[graph.edge_dst]) + np.abs(
+        ys[graph.edge_src] - ys[graph.edge_dst]
+    )
+    wires = np.maximum(dist, 1).astype(np.int32)
+    delay = 2.0 * arch.pin_delay_ns + wires * arch.wire_hop_delay_ns
+    pins = np.full(num_edges, 2, dtype=np.int32)
+    return delay, wires, pins
+
+
+def structural_edge_delays(graph: TimingGraph, arch) -> np.ndarray:
+    """Placement-free estimate: every connection is one wire hop plus pins."""
+    unit = 2.0 * arch.pin_delay_ns + arch.wire_hop_delay_ns
+    return np.full(graph.num_edges, unit, dtype=np.float64)

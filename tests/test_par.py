@@ -286,6 +286,81 @@ class TestDirectedRoutingKernel:
             route(nl, placement, device, kernel="warp")
 
 
+class TestAutoKernel:
+    def test_auto_picks_astar_below_crossover(self):
+        # Small graphs resolve to the scalar kernel: identical result.
+        nl = chain_netlist(6)
+        arch = FPGAArchitecture(width=4, height=4, channel_width=4)
+        device = build_device(arch)
+        placement = place(nl, arch, seed=1, effort=0.4).placement
+        auto = route(nl, placement, device, kernel="auto")
+        astar = route(nl, placement, device, kernel="astar")
+        assert auto.wirelength == astar.wirelength
+        assert auto.iterations == astar.iterations
+        for nid, r in astar.routes.items():
+            assert auto.routes[nid].nodes == r.nodes
+
+    def test_auto_picks_wavefront_above_crossover(self, monkeypatch):
+        import repro.par.routing as routing_mod
+
+        monkeypatch.setattr(routing_mod, "WAVEFRONT_AUTO_MIN_NODES", 1)
+        nl = chain_netlist(6)
+        arch = FPGAArchitecture(width=4, height=4, channel_width=4)
+        device = build_device(arch)
+        placement = place(nl, arch, seed=1, effort=0.4).placement
+        auto = route(nl, placement, device, kernel="auto")
+        wave = route(nl, placement, device, kernel="wavefront")
+        assert auto.wirelength == wave.wirelength
+        assert auto.iterations == wave.iterations
+
+    def test_min_cw_default_probe_kernel_is_auto(self):
+        # The probe default must agree with the explicit scalar kernel at
+        # sub-crossover scale (same minimum, same wirelength) and carry the
+        # timing summary alongside the wirelength metrics.
+        nl = chain_netlist(8)
+        arch = FPGAArchitecture(width=4, height=4, channel_width=8)
+        placement = place(nl, arch, seed=3, effort=0.5).placement
+        default = minimum_channel_width(nl, placement, arch, low=1, high=8)
+        explicit = minimum_channel_width(
+            nl, placement, arch, low=1, high=8, route_kernel="astar"
+        )
+        assert default.min_channel_width == explicit.min_channel_width
+        assert default.wirelength_at_min == explicit.wirelength_at_min
+        assert default.timing_at_min is not None
+        assert default.timing_at_min["critical_path_ns"] > 0
+
+
+class TestCacheObjectiveNamespace:
+    def test_route_key_differs_by_objective(self):
+        nl = chain_netlist(6)
+        arch = FPGAArchitecture(width=4, height=4, channel_width=4)
+        placement = place(nl, arch, seed=0, effort=0.3).placement
+        base = PaRCache.route_key(nl, placement, arch, 4, 12, "astar")
+        timing = PaRCache.route_key(
+            nl, placement, arch, 4, 12, "astar", objective="timing"
+        )
+        assert base != timing
+
+    def test_min_cw_warm_cache_serves_timing_summary(self, tmp_path, monkeypatch):
+        nl = chain_netlist(6)
+        arch = FPGAArchitecture(width=4, height=4, channel_width=8)
+        placement = place(nl, arch, seed=1, effort=0.5).placement
+        cache = PaRCache(tmp_path / "routes")
+        first = minimum_channel_width(nl, placement, arch, low=1, high=8, cache=cache)
+        assert first.timing_at_min is not None
+
+        import repro.par.metrics as metrics
+
+        def explode(*args, **kwargs):
+            raise AssertionError("route() called despite warm cache")
+
+        monkeypatch.setattr(metrics, "route", explode)
+        cache2 = PaRCache(tmp_path / "routes")
+        again = minimum_channel_width(nl, placement, arch, low=1, high=8, cache=cache2)
+        assert again.timing_at_min == first.timing_at_min
+        assert cache2.hits > 0
+
+
 class TestWavefrontRoutingKernel:
     def test_wavefront_matches_reference_quality(self):
         net = adder_network(6)
