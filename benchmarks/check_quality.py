@@ -15,7 +15,15 @@ benchmark shows
   converge, the timing flow's critical path regressed more than 10% over
   the default flow's, its wirelength left the 10% band of the reference
   route on its own placement, or the STA logic depth diverged from the
-  mapped network's.
+  mapped network's,
+* an incremental-STA placer regression: its routed critical path must not
+  exceed the PR 4 candidate-anneal placer's (both deterministic for the
+  bench seed, so this gate carries no machine noise),
+* a flat-forest retime failure: the flat path must stay bit-identical to
+  the dict walk, and its steady-state speedup must hold at least 75% of
+  the 3x target (>25% cost regression fails),
+* a missing or non-convergent ``auto_crossover`` section (the measured
+  astar/wavefront ratios back the ``kernel="auto"`` constant).
 
 The thresholds here are looser than the in-benchmark ``ok`` flags on
 purpose: this gate is about catching real regressions, not about
@@ -34,6 +42,8 @@ import sys
 from pathlib import Path
 
 REGRESSION_BAND = 1.10  # >10% quality loss fails the nightly
+RETIME_TARGET = 3.0     # issue 5: flat retime speedup target ...
+RETIME_SLACK = 1.25     # ... enforced with 25% headroom for machine load
 
 
 def check(report: dict) -> list:
@@ -110,6 +120,50 @@ def check(report: dict) -> list:
             problems.append(
                 f"timing: timing-route wirelength {band:.3f}x of the reference "
                 f"route (> {REGRESSION_BAND}x)"
+            )
+        placer_ratio = timing.get("placer_cp_ratio")
+        if placer_ratio is None:
+            problems.append("timing: incremental-vs-candidates placer ratio missing")
+        elif placer_ratio > 1.0 + 1e-9:
+            problems.append(
+                f"timing: incremental-STA placer critical path {placer_ratio:.3f}x "
+                "of the candidate-anneal placer (must match or beat it)"
+            )
+
+    retime = kernels.get("retime", {})
+    if not retime:
+        problems.append("retime: benchmark section missing")
+    else:
+        if not retime.get("criticality_identical", False):
+            problems.append("retime: flat criticality vector diverged from the dict walk")
+        if not retime.get("delays_identical", False):
+            problems.append("retime: flat routed delays diverged from the dict walk")
+        speedup = retime.get("retime_speedup")
+        floor = RETIME_TARGET / RETIME_SLACK
+        if speedup is None:
+            problems.append("retime: flat-vs-dict speedup missing")
+        elif speedup < floor:
+            problems.append(
+                f"retime: flat retime only {speedup:.2f}x over the dict walk "
+                f"(> 25% regression from the {RETIME_TARGET}x target)"
+            )
+
+    crossover = kernels.get("auto_crossover", {})
+    if not crossover:
+        problems.append("auto_crossover: benchmark section missing")
+    else:
+        points = crossover.get("points", [])
+        if not points:
+            problems.append("auto_crossover: no measured points")
+        for p in points:
+            if not (p.get("success_astar") and p.get("success_wavefront")):
+                problems.append(
+                    f"auto_crossover: non-convergent route at {p.get('num_nodes')} nodes"
+                )
+        if not crossover.get("auto_constant_consistent", False):
+            problems.append(
+                "auto_crossover: WAVEFRONT_AUTO_MIN_NODES contradicts the "
+                "measured astar/wavefront ratios"
             )
     return problems
 

@@ -1,7 +1,14 @@
 """TPaR-style physical CAD: placement (TPLACE), routing (TROUTE), metrics, timing."""
 
 from .cache import PaRCache
-from .flow import PaRResult, best_placement, place_and_route, placement_sweep
+from .flow import (
+    PaRResult,
+    best_placement,
+    cached_route,
+    place_and_route,
+    placement_sweep,
+)
+from .forest import RouteForest, build_route_forest
 from .metrics import MinChannelWidthResult, channel_occupancy, minimum_channel_width
 from .netlist import Block, Net, PhysicalNetlist, from_mapped_network
 from .placement import Placement, PlacementResult, hpwl, place, random_placement
@@ -12,8 +19,11 @@ __all__ = [
     "PaRCache",
     "PaRResult",
     "place_and_route",
+    "cached_route",
     "placement_sweep",
     "best_placement",
+    "RouteForest",
+    "build_route_forest",
     "MinChannelWidthResult",
     "channel_occupancy",
     "minimum_channel_width",

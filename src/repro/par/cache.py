@@ -37,10 +37,11 @@ from .placement import Placement
 __all__ = ["PaRCache", "ROUTE_ALGO_VERSION", "PLACE_ALGO_VERSION"]
 
 #: Bump when a routing kernel change makes cached route metrics stale.
-#: v3: route values carry the timing summary (critical_path_ns, logic_depth)
-#: next to the wirelength metrics, and keys are namespaced by the routing
-#: objective -- pre-timing v2 entries must read as misses.
-ROUTE_ALGO_VERSION = 3
+#: v4: route values carry the serialized flat route forest (the actual
+#: route trees, see :mod:`repro.par.forest`) next to the metrics, so cache
+#: hits re-hydrate routes instead of re-routing; metrics-only v3 entries
+#: must read as misses.
+ROUTE_ALGO_VERSION = 4
 #: Bump when a placement kernel change makes cached placements stale.
 PLACE_ALGO_VERSION = 2
 
@@ -128,14 +129,18 @@ class PaRCache:
         max_iterations: int,
         kernel: str,
         objective: str = "wirelength",
+        tag: str = "",
     ) -> str:
+        """Content key of one route.  ``tag`` folds in extra knobs that
+        change the routed result (e.g. the timing objective's criticality
+        exponent) without widening the signature for every caller."""
         material = "|".join(
             (
                 f"route-v{ROUTE_ALGO_VERSION}",
                 _netlist_fingerprint(netlist),
                 _placement_fingerprint(placement),
                 _arch_fingerprint(arch),
-                f"w{channel_width}i{max_iterations}k{kernel}o{objective}",
+                f"w{channel_width}i{max_iterations}k{kernel}o{objective}{tag}",
             )
         )
         return "route-" + hashlib.sha256(material.encode()).hexdigest()[:32]

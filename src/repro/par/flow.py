@@ -29,26 +29,35 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..fpga.architecture import FPGAArchitecture, auto_size
 from ..fpga.device import Device, build_device
 from ..techmap.mapping import MappedNetwork
+from ..timing.delays import structural_edge_delays
 from ..timing.graph import build_timing_graph
 from ..timing.sta import (
     TimingAnalysis,
     analyze,
     net_criticality_from_placement,
-    structural_net_criticality,
+    scan_edge_criticality,
 )
 from .cache import PaRCache
 from .metrics import MinChannelWidthResult, minimum_channel_width
 from .netlist import PhysicalNetlist, from_mapped_network
-from .placement import Placement, PlacementResult, place
-from .routing import RoutingResult, route
+from .placement import Placement, PlacementResult, TimingCost, place
+from .routing import (
+    RoutingResult,
+    route,
+    routing_from_payload,
+    routing_to_payload,
+)
 from .timing import TimingReport, report_from_analysis
 
 __all__ = [
     "PaRResult",
     "place_and_route",
+    "cached_route",
     "timing_driven_placement",
     "placement_sweep",
     "best_placement",
@@ -102,6 +111,60 @@ class PaRResult:
         return out
 
 
+def cached_route(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    device: Device,
+    cache: Optional[PaRCache] = None,
+    max_iterations: int = 25,
+    kernel: str = "wavefront",
+    objective: str = "wirelength",
+    criticality_exponent: float = 1.0,
+) -> RoutingResult:
+    """:func:`~repro.par.routing.route` with on-disk route-tree memoization.
+
+    The cache value carries the flat route forest next to the metrics, so a
+    hit re-hydrates the *full* :class:`RoutingResult` -- route trees
+    included -- instead of re-routing; reconfiguration experiments that
+    re-run the same (netlist, placement, architecture) triple pay the
+    route once per machine.  Kernels without a forest (``fast`` /
+    ``reference``) and corrupt or pre-forest cache entries degrade to a
+    plain :func:`route` call.  Routing is deterministic for fixed inputs,
+    so a re-hydrated result is the one a fresh route would return.
+    """
+    key = None
+    if cache is not None and kernel not in ("fast", "reference"):
+        key = PaRCache.route_key(
+            netlist,
+            placement,
+            device.arch,
+            device.arch.channel_width,
+            max_iterations,
+            kernel,
+            objective=objective,
+            tag=f"x{criticality_exponent}" if objective == "timing" else "",
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            result = routing_from_payload(hit)
+            if result is not None:
+                return result
+    result = route(
+        netlist,
+        placement,
+        device,
+        max_iterations=max_iterations,
+        kernel=kernel,
+        objective=objective,
+        criticality_exponent=criticality_exponent,
+    )
+    if key is not None:
+        payload = routing_to_payload(result)
+        if payload is not None:
+            cache.put(key, payload)
+    return result
+
+
 def place_and_route(
     network: MappedNetwork,
     arch: Optional[FPGAArchitecture] = None,
@@ -117,8 +180,9 @@ def place_and_route(
     workers: Optional[int] = None,
     cache: Optional[PaRCache] = None,
     objective: str = "wirelength",
-    timing_tradeoff: float = 3.0,
+    timing_tradeoff: Optional[float] = None,
     timing_passes: int = 2,
+    timing_placer: str = "incremental",
 ) -> PaRResult:
     """Run the full TPaR flow (TPLACE + TROUTE) on a mapped network.
 
@@ -148,13 +212,19 @@ def place_and_route(
         case -- see :func:`repro.par.metrics.minimum_channel_width`.
     objective:
         ``"wirelength"`` (the seed behavior) or ``"timing"``: placement runs
-        :func:`timing_driven_placement` (criticality-weighted annealing with
-        iterative re-weighting, best candidate by estimated critical path)
+        :func:`timing_driven_placement` (criticality-weighted annealing,
+        incremental-STA by default -- ``timing_placer`` selects the mode)
         and routing runs the VPR-style blended cost
         ``crit * delay + (1 - crit) * congestion`` with per-iteration
-        criticality updates.  ``timing_tradeoff`` scales the net weights,
-        ``timing_passes`` the number of re-weighting anneals.  Every result
-        carries the full STA in :attr:`PaRResult.sta` either way.
+        criticality updates over the flat route forest.
+        ``timing_tradeoff`` scales the net weights, ``timing_passes`` the
+        number of re-weighting anneals of the ``candidates`` placer mode.
+        Every result carries the full STA in :attr:`PaRResult.sta` either
+        way.
+
+    With a ``cache`` (or ``REPRO_PAR_CACHE`` set) the main route is served
+    through :func:`cached_route`: repeated flows over the same placed
+    design re-hydrate their route trees from disk instead of re-routing.
     """
     if objective not in ("wirelength", "timing"):
         raise ValueError(f"unknown PAR objective {objective!r}")
@@ -171,18 +241,31 @@ def place_and_route(
 
     if objective == "timing" and placement_kernel == "batched":
         placement = timing_driven_placement(
-            netlist, arch, seed=seed, effort=placement_effort,
-            tradeoff=timing_tradeoff, passes=timing_passes,
+            netlist,
+            arch,
+            seed=seed,
+            effort=placement_effort,
+            tradeoff=timing_tradeoff,
+            passes=timing_passes,
+            mode=timing_placer,
         )
     else:
         placement = place(
-            netlist, arch, seed=seed, effort=placement_effort,
+            netlist,
+            arch,
+            seed=seed,
+            effort=placement_effort,
             kernel=placement_kernel,
         )
-    routing = route(
-        netlist, placement.placement, device,
-        max_iterations=router_iterations, kernel=route_kernel,
-        objective=objective, criticality_exponent=2.0 if objective == "timing" else 1.0,
+    routing = cached_route(
+        netlist,
+        placement.placement,
+        device,
+        cache=cache,
+        max_iterations=router_iterations,
+        kernel=route_kernel,
+        objective=objective,
+        criticality_exponent=2.0 if objective == "timing" else 1.0,
     )
     sta = analyze(netlist, routing, device, placement=placement.placement)
     timing = report_from_analysis(sta, network, routing, device)
@@ -190,9 +273,14 @@ def place_and_route(
     min_cw = None
     if find_min_channel_width:
         min_cw = minimum_channel_width(
-            netlist, placement.placement, arch,
-            low=min_cw_bounds[0], high=min_cw_bounds[1],
-            route_kernel=min_cw_route_kernel, workers=workers, cache=cache,
+            netlist,
+            placement.placement,
+            arch,
+            low=min_cw_bounds[0],
+            high=min_cw_bounds[1],
+            route_kernel=min_cw_route_kernel,
+            workers=workers,
+            cache=cache,
         )
 
     return PaRResult(
@@ -208,55 +296,109 @@ def place_and_route(
     )
 
 
+#: Default criticality tradeoff per placer mode.  The incremental mode's
+#: per-connection ``crit * distance`` term is re-timed in the loop, so a
+#: stale weight decays as soon as its connection stops being critical --
+#: it tolerates (and measures best at) a sharper pull than the frozen
+#: between-anneal net weights of the candidates mode.
+_MODE_TRADEOFF = {"incremental": 4.0, "candidates": 3.0}
+
+
 def timing_driven_placement(
     netlist: PhysicalNetlist,
     arch: FPGAArchitecture,
     seed: int = 0,
     effort: float = 1.0,
     inner_num: float = 1.0,
-    tradeoff: float = 3.0,
+    tradeoff: Optional[float] = None,
     passes: int = 2,
     exponent: float = 2.0,
+    mode: str = "incremental",
+    retime_every: Optional[int] = None,
 ) -> PlacementResult:
-    """Criticality-weighted annealing with iterative re-weighting.
+    """Criticality-driven annealing; incremental-STA by default.
 
-    VPR-style timing-driven placement adapted to the one-shot annealer: a
-    small set of candidate placements is annealed and the one with the best
-    *estimated* critical path (distance-based STA, no routing) wins:
+    ``mode="incremental"`` (default) is the VPR-style incremental-STA
+    placer: **one** ``batched`` anneal whose objective is plain HPWL plus a
+    per-connection ``criticality * distance`` term over the timing graph's
+    flat edge arrays (:class:`repro.par.placement.TimingCost`).  Every
+    ``retime_every`` accepted moves (default: half a temperature step) the
+    live block coordinates feed a placement-estimate STA
+    (:func:`repro.timing.sta.scan_edge_criticality`, pure NumPy) and the
+    per-connection weights are refreshed in place -- criticality chases
+    the anneal instead of being frozen between candidate anneals, and each
+    *sink* is priced by its own slack rather than by its net's worst one.
+    One anneal replaces the candidate recipe's four (~0.3x the placement
+    time, measured in ``BENCH_hotpaths.json`` and gated by
+    ``check_quality.py``).
 
-    1. the plain unweighted ``batched`` anneal -- the timing flow can never
-       pick a placement worse for timing than the wirelength flow's;
-    2. an anneal weighted ``1 + tradeoff * crit^exponent`` by the
-       *structural* pre-placement criticalities;
-    3. ``passes`` further anneals re-weighted by the estimated criticality
-       of the best candidate so far (decorrelated annealing streams).
+    ``mode="candidates"`` is PR 4's recipe, kept as the comparison
+    baseline: anneal an unweighted candidate, a structurally-weighted
+    candidate and ``passes`` re-weighted candidates (net-level weights,
+    criticalities frozen *between* anneals), then pick the best estimated
+    critical path.
 
-    Net weights pull critical nets shorter at some cost to others; the
-    estimate-driven selection is what makes the tradeoff robust across
-    seeds -- annealing noise turns into a ``min()`` instead of a gamble.
-    Measured on the bench PE workload this recipe cuts the routed critical
-    path by ~14% on average (max seed still improving) at < 1.01x the
-    reference-route wirelength; see ``BENCH_hotpaths.json``.
+    ``tradeoff`` defaults per mode (see ``_MODE_TRADEOFF``).
     """
+    if tradeoff is None:
+        tradeoff = _MODE_TRADEOFF.get(mode, 3.0)
     graph = build_timing_graph(netlist, arch.lut_delay_ns)
 
     def estimate(result: PlacementResult) -> Tuple[float, List[float]]:
-        return net_criticality_from_placement(
-            graph, result.placement, arch, exponent=exponent
+        return net_criticality_from_placement(graph, result.placement, arch, exponent=exponent)
+
+    def fold_structural() -> np.ndarray:
+        _dmax, crit = scan_edge_criticality(graph, structural_edge_delays(graph, arch))
+        if exponent != 1.0:
+            crit = crit**exponent
+        net_crit = np.zeros(len(netlist.nets))
+        if graph.num_edges:
+            np.maximum.at(net_crit, graph.edge_net, crit)
+        return net_crit
+
+    if mode == "incremental":
+
+        def conn_criticality(block_x: List[int], block_y: List[int]) -> np.ndarray:
+            from ..timing.delays import estimated_edge_delays_from_coords
+
+            delays = estimated_edge_delays_from_coords(graph, block_x, block_y, arch)[0]
+            _cp, crit = scan_edge_criticality(graph, delays)
+            return crit**exponent if exponent != 1.0 else crit
+
+        return place(
+            netlist,
+            arch,
+            seed=seed,
+            effort=effort,
+            inner_num=inner_num,
+            kernel="batched",
+            timing=TimingCost(
+                conn_src=graph.edge_src.tolist(),
+                conn_dst=graph.edge_dst.tolist(),
+                criticality=conn_criticality,
+                tradeoff=tradeoff,
+                retime_every=retime_every,
+            ),
         )
 
+    if mode != "candidates":
+        raise ValueError(f"unknown timing placement mode {mode!r}")
+
     candidates: List[Tuple[float, PlacementResult]] = []
-    base = place(netlist, arch, seed=seed, effort=effort, inner_num=inner_num,
-                 kernel="batched")
+    base = place(netlist, arch, seed=seed, effort=effort, inner_num=inner_num, kernel="batched")
     best_cp, best_crit = estimate(base)
     candidates.append((best_cp, base))
 
-    struct_w = [
-        1.0 + tradeoff * c**exponent
-        for c in structural_net_criticality(netlist, arch)
-    ]
-    cand = place(netlist, arch, seed=seed, effort=effort, inner_num=inner_num,
-                 kernel="batched", net_weights=struct_w)
+    struct_w = [1.0 + tradeoff * c for c in fold_structural()]
+    cand = place(
+        netlist,
+        arch,
+        seed=seed,
+        effort=effort,
+        inner_num=inner_num,
+        kernel="batched",
+        net_weights=struct_w,
+    )
     cp, crit = estimate(cand)
     if cp < best_cp:
         best_cp, best_crit = cp, crit
@@ -265,8 +407,13 @@ def timing_driven_placement(
     for i in range(1, passes + 1):
         weights = [1.0 + tradeoff * c for c in best_crit]
         cand = place(
-            netlist, arch, seed=seed + 1000 * i, effort=effort,
-            inner_num=inner_num, kernel="batched", net_weights=weights,
+            netlist,
+            arch,
+            seed=seed + 1000 * i,
+            effort=effort,
+            inner_num=inner_num,
+            kernel="batched",
+            net_weights=weights,
         )
         cp, crit = estimate(cand)
         if cp < best_cp:
@@ -279,9 +426,7 @@ def timing_driven_placement(
 def _place_seed_task(args: Tuple) -> Tuple[int, Dict]:
     """Pool worker: anneal one seed, return JSON-serializable placement data."""
     netlist, arch, seed, effort, inner_num, kernel = args
-    result = place(
-        netlist, arch, seed=seed, effort=effort, inner_num=inner_num, kernel=kernel
-    )
+    result = place(netlist, arch, seed=seed, effort=effort, inner_num=inner_num, kernel=kernel)
     return seed, _placement_payload(result)
 
 

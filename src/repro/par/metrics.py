@@ -67,7 +67,9 @@ class MinChannelWidthResult:
     timing_at_min: Optional[Dict[str, float]] = None
 
     def describe(self) -> str:
-        tried = ", ".join(f"W={w}:{'ok' if ok else 'fail'}" for w, ok in sorted(self.attempts.items()))
+        tried = ", ".join(
+            f"W={w}:{'ok' if ok else 'fail'}" for w, ok in sorted(self.attempts.items())
+        )
         return f"min CW = {self.min_channel_width} ({tried})"
 
 
@@ -78,7 +80,11 @@ def _route_width_task(args: Tuple) -> Tuple[int, bool, int, Optional[Dict]]:
     summary rides along so the cache keeps the delay axis next to the
     wirelength metrics.  The STA runs only on converged routes: the search
     spends most of its probes on deliberately-congested widths whose
-    timing would be both meaningless and wasted work.
+    timing would be both meaningless and wasted work.  Route *trees* are
+    deliberately not serialized here: the probe keys (probe kernel, probe
+    iteration budget) never coincide with a flow's route key, so a forest
+    in these values would be JSON shipped across the pool and read by
+    nobody -- re-hydration is :func:`repro.par.flow.cached_route`'s job.
     """
     from ..timing.sta import analyze
 
@@ -86,8 +92,11 @@ def _route_width_task(args: Tuple) -> Tuple[int, bool, int, Optional[Dict]]:
     device = build_device(base_arch.with_channel_width(width))
     try:
         result = route(
-            netlist, placement, device,
-            max_iterations=max_iterations, kernel=kernel,
+            netlist,
+            placement,
+            device,
+            max_iterations=max_iterations,
+            kernel=kernel,
         )
     except RuntimeError:
         return width, False, 0, None
@@ -160,8 +169,12 @@ def minimum_channel_width(
                 timing_at[width] = timing
         if cache is not None and not from_cache:
             key = PaRCache.route_key(
-                netlist, placement, base_arch, width,
-                max_router_iterations, route_kernel,
+                netlist,
+                placement,
+                base_arch,
+                width,
+                max_router_iterations,
+                route_kernel,
             )
             value = {"success": ok, "wirelength": wirelength}
             if timing is not None:
@@ -176,14 +189,21 @@ def minimum_channel_width(
                 continue
             if cache is not None:
                 key = PaRCache.route_key(
-                    netlist, placement, base_arch, w,
-                    max_router_iterations, route_kernel,
+                    netlist,
+                    placement,
+                    base_arch,
+                    w,
+                    max_router_iterations,
+                    route_kernel,
                 )
                 hit = cache.get(key)
                 if hit is not None:
                     record(
-                        w, bool(hit["success"]), int(hit["wirelength"]),
-                        timing=hit.get("timing"), from_cache=True,
+                        w,
+                        bool(hit["success"]),
+                        int(hit["wirelength"]),
+                        timing=hit.get("timing"),
+                        from_cache=True,
                     )
                     continue
             todo.append(w)

@@ -37,14 +37,58 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..fpga.architecture import FPGAArchitecture, Site
 from .netlist import PhysicalNetlist
 
-__all__ = ["Placement", "PlacementResult", "place", "random_placement", "hpwl"]
+__all__ = [
+    "Placement",
+    "PlacementResult",
+    "TimingCost",
+    "place",
+    "random_placement",
+    "hpwl",
+]
+
+
+class TimingCost:
+    """Per-connection timing term for the batched annealer (VPR-style).
+
+    The timing-driven flow hands the annealer the flat connection arrays of
+    the timing graph -- ``conn_src[c]`` / ``conn_dst[c]`` block ids, one
+    entry per (net driver, net sink) pair -- plus a ``criticality`` callback
+    that re-times a placement-estimate STA over the live block coordinates.
+    The annealer then prices every move as
+
+        delta = Q * delta_HPWL + sum_c  w_c * delta_dist_c
+
+    where ``w_c = round(Q * tradeoff * criticality_c)`` and ``dist_c`` is
+    the connection's Manhattan source-sink distance in unit wires (its
+    placement-estimated delay up to constants).  Both terms are exact
+    integers (``Q`` is the weight quantum), so the no-float-drift accounting
+    of the plain kernels carries over.  Criticalities are refreshed from the
+    callback every ``retime_every`` accepted moves -- criticality chases the
+    anneal instead of being frozen between candidate anneals.
+    """
+
+    def __init__(
+        self,
+        conn_src: Sequence[int],
+        conn_dst: Sequence[int],
+        criticality: Callable[[List[int], List[int]], Sequence[float]],
+        tradeoff: float = 4.0,
+        retime_every: Optional[int] = None,
+    ) -> None:
+        self.conn_src = list(conn_src)
+        self.conn_dst = list(conn_dst)
+        if len(self.conn_src) != len(self.conn_dst):
+            raise ValueError("conn_src and conn_dst must have equal length")
+        self.criticality = criticality
+        self.tradeoff = tradeoff
+        self.retime_every = retime_every
 
 
 @dataclass
@@ -171,6 +215,7 @@ def place(
     inner_num: float = 1.0,
     kernel: str = "incremental",
     net_weights: Optional[Sequence[float]] = None,
+    timing: Optional[TimingCost] = None,
 ) -> PlacementResult:
     """Simulated-annealing placement (TPLACE).
 
@@ -188,15 +233,25 @@ def place(
     :attr:`PlacementResult.cost` still reports the *unweighted* integer HPWL
     and the weighted objective lands in
     :attr:`PlacementResult.objective_cost`.
+
+    ``timing`` (``batched`` kernel only, exclusive with ``net_weights``)
+    switches the anneal to the incremental-STA objective: plain HPWL plus a
+    per-connection ``criticality * distance`` term whose criticalities are
+    re-timed from the live coordinates inside the annealing loop (see
+    :class:`TimingCost`).
     """
     if net_weights is not None and kernel != "batched":
         raise ValueError("net_weights requires the batched placement kernel")
+    if timing is not None and kernel != "batched":
+        raise ValueError("timing requires the batched placement kernel")
+    if timing is not None and net_weights is not None:
+        raise ValueError("timing and net_weights are mutually exclusive")
     if kernel == "reference":
         return _place_reference(netlist, arch, seed=seed, effort=effort, inner_num=inner_num)
     if kernel == "batched":
         return _place_batched(
             netlist, arch, seed=seed, effort=effort, inner_num=inner_num,
-            net_weights=net_weights,
+            net_weights=net_weights, timing=timing,
         )
     if kernel != "incremental":
         raise ValueError(f"unknown placement kernel {kernel!r}")
@@ -509,6 +564,7 @@ def _place_batched(
     effort: float = 1.0,
     inner_num: float = 1.0,
     net_weights: Optional[Sequence[float]] = None,
+    timing: Optional[TimingCost] = None,
 ) -> PlacementResult:
     """Incremental-bbox annealer fed by block-drawn PCG64 randomness.
 
@@ -524,16 +580,25 @@ def _place_batched(
     With ``net_weights`` the annealed objective is the quantized-integer
     weighted HPWL (see :func:`_quantize_weights`); every bbox update below
     simply scales its net's cost by the integer weight, so the O(1) move
-    accounting is unchanged.
+    accounting is unchanged.  With ``timing`` the objective is instead
+    ``Q * HPWL + sum_c w_c * dist_c`` over the timing graph's connections
+    (see :class:`TimingCost`): each move additionally re-prices the moved
+    blocks' connections -- O(pins moved), exactly like the bbox updates --
+    and the integer criticality weights ``w_c`` are re-timed in place every
+    ``retime_every`` accepted moves.
     """
     gen = np.random.Generator(np.random.PCG64(seed))
     placement = random_placement(netlist, arch, seed=seed)
+    num_nets = len(netlist.nets)
     weighted = net_weights is not None
-    wq = (
-        _quantize_weights(net_weights, len(netlist.nets))
-        if weighted
-        else [1] * len(netlist.nets)
-    )
+    if timing is not None:
+        # Scale the HPWL term by the weight quantum so the quantized
+        # integer timing weights blend at the configured tradeoff.
+        wq = [_WEIGHT_QUANTUM] * num_nets
+    elif weighted:
+        wq = _quantize_weights(net_weights, num_nets)
+    else:
+        wq = [1] * num_nets
 
     logic_blocks = [b.id for b in netlist.blocks if b.needs_logic_site]
     io_blocks = [b.id for b in netlist.blocks if b.kind == "io"]
@@ -579,6 +644,7 @@ def _place_batched(
         net_cost.append(cost)
         total_cost += cost
     initial_cost = total_cost
+    weighted = weighted or timing is not None
     initial_hpwl = hpwl(netlist, placement) if weighted else initial_cost
     nets_of_block_set = [set(lst) for lst in nets_of_block]
 
@@ -605,6 +671,57 @@ def _place_batched(
     logic_group = bool(logic_blocks)
     width, height = arch.width, arch.height
     exp = math.exp
+
+    # Incremental-STA objective: flat per-connection distance/weight lists
+    # plus the in-loop retime trigger.  A move re-prices only the moved
+    # blocks' connections (O(pins moved), like the bbox updates); the
+    # integer criticality weights are refreshed from the callback every
+    # retime_every accepted moves.
+    if timing is not None:
+        t_src = timing.conn_src
+        t_dst = timing.conn_dst
+        nconn = len(t_src)
+        conns_of_block: List[List[int]] = [[] for _ in range(num_block_ids)]
+        for ci in range(nconn):
+            conns_of_block[t_src[ci]].append(ci)
+            if t_dst[ci] != t_src[ci]:
+                conns_of_block[t_dst[ci]].append(ci)
+
+        def retime_weights() -> List[int]:
+            crit = np.asarray(
+                timing.criticality(block_x, block_y), dtype=np.float64
+            )
+            if crit.shape != (nconn,):
+                raise ValueError(
+                    f"timing criticality returned {crit.shape}, expected ({nconn},)"
+                )
+            q = np.rint(_WEIGHT_QUANTUM * timing.tradeoff * crit)
+            return q.astype(np.int64).tolist()
+
+        c_dist = []
+        for ci in range(nconn):
+            dx = block_x[t_src[ci]] - block_x[t_dst[ci]]
+            dy = block_y[t_src[ci]] - block_y[t_dst[ci]]
+            d = (dx if dx >= 0 else -dx) + (dy if dy >= 0 else -dy)
+            c_dist.append(d if d > 0 else 1)
+        cwq = retime_weights()
+        timing_cost = sum(w * d for w, d in zip(cwq, c_dist))
+        retime_every = timing.retime_every or max(1, moves_per_temp // 2)
+        # The timing term is part of the annealed cost: fold it into the
+        # temperature scale too.
+        temperature = _initial_temperature(
+            initial_cost + timing_cost, len(netlist.nets)
+        )
+    else:
+        t_src = t_dst = []
+        nconn = 0
+        conns_of_block = []
+        c_dist = []
+        cwq = []
+        timing_cost = 0
+        retime_every = 0
+    accepted_since_retime = 0
+    t_scratch: List[Tuple[int, int]] = []
 
     RBUF = 1 << 14
     IMAX = 1 << 63
@@ -811,6 +928,43 @@ def _place_batched(
                     delta += cost - net_cost[nid]
                     updates.append((nid, nb, cost))
 
+            if timing is not None:
+                # Re-price the moved blocks' connections against the
+                # tentative coordinates (a connection both blocks share is
+                # handled once, in the first loop).
+                del t_scratch[:]
+                for ci in conns_of_block[block]:
+                    s = t_src[ci]
+                    d2 = t_dst[ci]
+                    dx = block_x[s] - block_x[d2]
+                    if dx < 0:
+                        dx = -dx
+                    dy = block_y[s] - block_y[d2]
+                    if dy < 0:
+                        dy = -dy
+                    nd = dx + dy
+                    if nd == 0:
+                        nd = 1
+                    delta += cwq[ci] * (nd - c_dist[ci])
+                    t_scratch.append((ci, nd))
+                if occ_block is not None:
+                    for ci in conns_of_block[occ_block]:
+                        s = t_src[ci]
+                        d2 = t_dst[ci]
+                        if s == block or d2 == block:
+                            continue  # shared connection, re-priced above
+                        dx = block_x[s] - block_x[d2]
+                        if dx < 0:
+                            dx = -dx
+                        dy = block_y[s] - block_y[d2]
+                        if dy < 0:
+                            dy = -dy
+                        nd = dx + dy
+                        if nd == 0:
+                            nd = 1
+                        delta += cwq[ci] * (nd - c_dist[ci])
+                        t_scratch.append((ci, nd))
+
             if delta <= 0:
                 accept = True
             else:
@@ -831,6 +985,20 @@ def _place_batched(
                     block_gsite[occ_block] = cur_g
                 moves_accepted += 1
                 accepted_this_temp += 1
+                if timing is not None:
+                    for ci, nd in t_scratch:
+                        timing_cost += cwq[ci] * (nd - c_dist[ci])
+                        c_dist[ci] = nd
+                    accepted_since_retime += 1
+                    if accepted_since_retime >= retime_every:
+                        # Re-time against the live coordinates: fresh
+                        # integer weights, total re-priced (distances are
+                        # maintained incrementally and stay exact).
+                        accepted_since_retime = 0
+                        cwq = retime_weights()
+                        timing_cost = 0
+                        for ci in range(nconn):
+                            timing_cost += cwq[ci] * c_dist[ci]
             else:
                 block_x[block] = cx
                 block_y[block] = cy
@@ -842,9 +1010,9 @@ def _place_batched(
         acceptance = accepted_this_temp / max(1, moves_per_temp)
         temperature = _cool(temperature, acceptance)
         range_limit = _next_range_limit(range_limit, acceptance, device_span)
-        if temperature < 0.005 * total_cost / max(1, len(netlist.nets)) or (
-            acceptance < 0.01 and temperature_steps > 5
-        ):
+        if temperature < 0.005 * (total_cost + timing_cost) / max(
+            1, len(netlist.nets)
+        ) or (acceptance < 0.01 and temperature_steps > 5):
             break
 
     for bid in range(num_block_ids):
@@ -863,7 +1031,7 @@ def _place_batched(
             moves_attempted=moves_attempted,
             moves_accepted=moves_accepted,
             temperature_steps=temperature_steps,
-            objective_cost=total_cost,
+            objective_cost=total_cost + timing_cost,
         )
     return PlacementResult(
         placement=placement,

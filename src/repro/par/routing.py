@@ -58,10 +58,18 @@ import numpy as np
 
 from ..fpga.device import Device
 from ..fpga.routing_graph import RR_BASE_COST, RRGraph, RRNodeType
+from .forest import RouteForest, build_route_forest
 from .netlist import PhysicalNetlist
 from .placement import Placement
 
-__all__ = ["RoutingResult", "route", "NetRoute", "terminal_rr_nodes"]
+__all__ = [
+    "RoutingResult",
+    "route",
+    "NetRoute",
+    "terminal_rr_nodes",
+    "routing_to_payload",
+    "routing_from_payload",
+]
 
 
 @dataclass
@@ -92,6 +100,11 @@ class RoutingResult:
     wirelength: int
     overused_nodes: int
     max_channel_occupancy: int
+    #: flat route forest over all nets' trees (the directed kernels emit
+    #: one natively; ``None`` from the fast/reference baselines).  The STA
+    #: engine consumes it with pure NumPy gathers, and the PaR cache
+    #: serializes it so cache hits re-hydrate routes instead of re-routing.
+    forest: Optional[RouteForest] = None
 
     def describe(self) -> str:
         status = "routable" if self.success else "CONGESTED"
@@ -117,12 +130,16 @@ _PIN_FLOOR = _BASE_COST[RRNodeType.IPIN] + _BASE_COST[RRNodeType.SINK]
 
 #: ``kernel="auto"`` crossover: the vectorized wavefront kernel's NumPy
 #: round dispatch (~100 us/round) only amortizes once searches carry enough
-#: simultaneous labels, which the bench-scale graphs (~42.5k RR nodes, where
-#: the scalar astar kernel measured ~4.5x faster) do not offer.  Below this
-#: node count ``auto`` resolves to ``astar``; at and above it, to
-#: ``wavefront``.  Re-measure at paper scale (REPRO_FULL nightly) before
-#: trusting the exact value -- see ROADMAP.
-WAVEFRONT_AUTO_MIN_NODES = 120_000
+#: simultaneous labels.  Below this node count ``auto`` resolves to
+#: ``astar``; at and above it, to ``wavefront``.  PR 4 guessed 120k; PR 5
+#: *measured* it (``bench_hotpaths.py`` ``auto_crossover``: tiled bench-PE
+#: workloads routed by both kernels) and found NO crossover in the
+#: reachable range -- the scalar astar kernel stays ~3-4x faster from 42k
+#: through 203k RR nodes, with the time ratio nearly flat in graph size.
+#: The constant therefore sits above every graph this toolchain currently
+#: builds, so ``auto`` means astar everywhere until a compiled/GPU
+#: wavefront inner loop changes the slope (see ROADMAP).
+WAVEFRONT_AUTO_MIN_NODES = 1_000_000
 
 
 def terminal_rr_nodes(
@@ -281,6 +298,9 @@ def _route_astar(
     # delay cost into the congestion cost (crit * delay + (1-crit) * cong).
     # The normalization makes a unit wire cost exactly 1.0 in delay terms,
     # so the Manhattan lookahead below stays admissible under any blend.
+    # Criticalities live in the tracker's flat conn_crit vector, indexed by
+    # connection id (resolved once per sink below) -- no per-connection
+    # dict probes in the search loop, no dict rebuild per iteration.
     timing_mode = objective == "timing"
     if timing_mode:
         from ..timing.sta import CriticalityTracker
@@ -289,13 +309,15 @@ def _route_astar(
             netlist, placement, device,
             max_criticality=max_criticality, exponent=criticality_exponent,
         )
-        crit_of = tracker.initial()
+        conn_crit = tracker.initial_flat()
+        cid_of = tracker.conn_index
         delay_l: List[float] = (
             view.delay_ns / device.arch.wire_hop_delay_ns
         ).tolist()
     else:
         tracker = None
-        crit_of = {}
+        conn_crit = None
+        cid_of = {}
         delay_l = []
 
     xs, ys = view.xs, view.ys
@@ -548,7 +570,11 @@ def _route_astar(
                 bump(target, 1)
                 conns.append((target, [], target))
                 continue
-            crt = crit_of.get((net_id, target), 0.0) if timing_mode else 0.0
+            if timing_mode:
+                cid = cid_of.get((net_id, target))
+                crt = float(conn_crit[cid]) if cid is not None else 0.0
+            else:
+                crt = 0.0
             # A too-tight box can starve a congested net of detour room;
             # escalate to the net terminal box and then the whole device
             # before giving up.
@@ -670,12 +696,24 @@ def _route_astar(
             history[n] += hist_fac * (occupancy[n] - cap[n])
         pres_fac *= pres_fac_mult
         if timing_mode:
-            # Re-time the current route trees: the next iteration's
-            # re-routes price against fresh criticalities.
-            crit_of = tracker.update(routes)
+            # Re-time the current route trees on the flat forest: the next
+            # iteration's re-routes price against fresh criticalities.
+            conn_crit = tracker.update_flat(routes)
 
     occ_arr = np.asarray(occupancy, dtype=np.int32)
-    return _assemble_result(rr, routes, occ_arr, cap_arr, success, iteration)
+    # Emit the flat forest for converged routes only: a congested result's
+    # trees are about to be thrown away (min-channel-width probes below
+    # the minimum fail by construction), so flattening them is pure waste.
+    # In timing mode the tracker's per-iteration updates already flattened
+    # every net; reuse its fragment cache so the final build re-flattens
+    # nothing.
+    forest = None
+    if success:
+        frag_cache = tracker._frag_cache if tracker is not None else None
+        forest = build_route_forest(routes, rr, cache=frag_cache)
+    return _assemble_result(
+        rr, routes, occ_arr, cap_arr, success, iteration, forest=forest,
+    )
 
 
 def _route_wavefront(
@@ -759,11 +797,13 @@ def _route_wavefront(
             netlist, placement, device,
             max_criticality=max_criticality, exponent=criticality_exponent,
         )
-        crit_of = tracker.initial()
+        conn_crit = tracker.initial_flat()
+        cid_of = tracker.conn_index
         delay_arr = view.delay_ns / device.arch.wire_hop_delay_ns
     else:
         tracker = None
-        crit_of = {}
+        conn_crit = None
+        cid_of = {}
         delay_arr = None
 
     src_of, sink_of = terminal_rr_nodes(netlist, placement, rr)
@@ -954,7 +994,8 @@ def _route_wavefront(
             row[:k] = base_s + wires
             row[k:] = trash
             if timing_mode:
-                crt = crit_of.get((work.net_id, target), 0.0)
+                cid = cid_of.get((work.net_id, target))
+                crt = float(conn_crit[cid]) if cid is not None else 0.0
                 s_crit[s] = crt
                 s_pfl[s] = (1.0 - crt) * _PIN_FLOOR
                 ew_pc2[s, :k] = (1.0 - crt) * (cost[ipins] + cost[target]) + crt * (
@@ -1426,13 +1467,19 @@ def _route_wavefront(
         history[over_nodes] += hist_fac * (occupancy[over_nodes] - cap_arr[over_nodes])
         pres_fac *= pres_fac_mult
         if timing_mode:
-            # Re-time the current route trees: the next iteration's
-            # re-routes price against fresh criticalities.
-            crit_of = tracker.update(routes)
+            # Re-time the current route trees on the flat forest: the next
+            # iteration's re-routes price against fresh criticalities.
+            conn_crit = tracker.update_flat(routes)
 
+    # Converged routes only + timing-tracker fragment-cache reuse, as in
+    # the astar kernel above.
+    forest = None
+    if success:
+        frag_cache = tracker._frag_cache if tracker is not None else None
+        forest = build_route_forest(routes, rr, cache=frag_cache)
     return _assemble_result(
         rr, routes, occupancy.astype(np.int32), cap_arr.astype(np.int32),
-        success, iteration,
+        success, iteration, forest=forest,
     )
 
 
@@ -1602,11 +1649,15 @@ def _assemble_result(
     capacity: np.ndarray,
     success: bool,
     iteration: int,
+    forest: Optional[RouteForest] = None,
 ) -> RoutingResult:
     wire_mask = (rr.node_type == RRNodeType.CHANX) | (rr.node_type == RRNodeType.CHANY)
-    wirelength = 0
-    for r in routes.values():
-        wirelength += sum(1 for n in r.nodes if wire_mask[n])
+    if forest is not None:
+        wirelength = forest.wirelength(wire_mask)
+    else:
+        wirelength = 0
+        for r in routes.values():
+            wirelength += sum(1 for n in r.nodes if wire_mask[n])
     max_chan_occ = int(occupancy[wire_mask].max()) if wire_mask.any() else 0
     return RoutingResult(
         routes=routes,
@@ -1615,7 +1666,51 @@ def _assemble_result(
         wirelength=wirelength,
         overused_nodes=int(np.count_nonzero(occupancy > capacity)),
         max_channel_occupancy=max_chan_occ,
+        forest=forest,
     )
+
+
+def routing_to_payload(result: RoutingResult) -> Optional[Dict[str, object]]:
+    """JSON-serializable routing result, or ``None`` without a forest.
+
+    The route trees ride along as the flat forest's int lists, so a
+    :class:`~repro.par.cache.PaRCache` hit can re-hydrate the full result
+    (see :func:`routing_from_payload`) instead of re-routing.
+    """
+    if result.forest is None:
+        return None
+    return {
+        "success": result.success,
+        "iterations": result.iterations,
+        "wirelength": result.wirelength,
+        "overused_nodes": result.overused_nodes,
+        "max_channel_occupancy": result.max_channel_occupancy,
+        "forest": result.forest.to_payload(),
+    }
+
+
+def routing_from_payload(payload: Dict[str, object]) -> Optional[RoutingResult]:
+    """Re-hydrate a :class:`RoutingResult` from a cached payload.
+
+    Returns ``None`` when the payload predates route-forest serialization
+    or fails validation -- callers treat that as a cache miss.
+    """
+    raw = payload.get("forest")
+    if raw is None:
+        return None
+    try:
+        forest = RouteForest.from_payload(raw)
+        return RoutingResult(
+            routes=forest.to_net_routes(),
+            success=bool(payload["success"]),
+            iterations=int(payload["iterations"]),
+            wirelength=int(payload["wirelength"]),
+            overused_nodes=int(payload["overused_nodes"]),
+            max_channel_occupancy=int(payload["max_channel_occupancy"]),
+            forest=forest,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def _route_reference(

@@ -24,6 +24,7 @@ legacy :func:`repro.par.timing.analyze_timing` wrapper.
 
 from .delays import (
     estimated_edge_delays,
+    estimated_edge_delays_from_coords,
     routed_edge_delays,
     structural_edge_delays,
 )
@@ -34,6 +35,7 @@ from .sta import (
     TimingAnalysis,
     analyze,
     net_criticality_from_placement,
+    scan_edge_criticality,
     structural_net_criticality,
 )
 
@@ -42,11 +44,13 @@ __all__ = [
     "build_timing_graph",
     "routed_edge_delays",
     "estimated_edge_delays",
+    "estimated_edge_delays_from_coords",
     "structural_edge_delays",
     "TimingAnalysis",
     "CriticalPathElement",
     "CriticalityTracker",
     "analyze",
+    "scan_edge_criticality",
     "structural_net_criticality",
     "net_criticality_from_placement",
 ]

@@ -8,9 +8,13 @@ order of fidelity:
   per-resource node delays (:func:`repro.fpga.routing_graph.rr_delay_ns`)
   along the unique tree path from the net's SOURCE to that sink, and the
   walk also counts the wire / switch / pin elements so the critical-path
-  breakdown can itemize them.  Route trees that carry the router's
-  connection list (``NetRoute.connections``, the astar/wavefront kernels)
-  are walked exactly; plain node-list trees fall back to a BFS over the RR
+  breakdown can itemize them.  When the routing carries a flat
+  :class:`~repro.par.forest.RouteForest` (the directed kernels emit one),
+  the extraction is pure NumPy -- one depth-levelized accumulation over
+  the forest arrays plus a ``searchsorted`` join onto the timing edges,
+  bit-identical to the legacy walk.  Without a forest, route trees that
+  carry the router's connection list (``NetRoute.connections``) are walked
+  exactly per net; plain node-list trees fall back to a BFS over the RR
   adjacency restricted to the tree's nodes.
 * :func:`estimated_edge_delays` -- pre-route estimate from placement:
   Manhattan distance in unit wires plus the pin hops.  This seeds the
@@ -33,9 +37,11 @@ from .graph import TimingGraph
 
 __all__ = [
     "sink_rr_of_blocks",
+    "sink_rr_array",
     "routed_edge_delays",
     "routed_wirecount_edge_delays",
     "estimated_edge_delays",
+    "estimated_edge_delays_from_coords",
     "structural_edge_delays",
 ]
 
@@ -54,6 +60,51 @@ def sink_rr_of_blocks(
 
     _src_of, sink_of = terminal_rr_nodes(netlist, placement, device.rr_graph)
     return sink_of
+
+
+def sink_rr_array(graph: TimingGraph, sink_of: Dict[int, int]) -> np.ndarray:
+    """``sink_of`` as a flat int64 array over timing-graph nodes (-1 unknown)."""
+    arr = np.full(graph.num_nodes, -1, dtype=np.int64)
+    for block, sink in sink_of.items():
+        arr[block] = sink
+    return arr
+
+
+def _forest_edge_data(
+    graph: TimingGraph,
+    forest,
+    sink_arr: np.ndarray,
+    delay_ns: np.ndarray,
+    is_wire: np.ndarray,
+    is_pin: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Join per-forest-connection (delay, wires, pins) onto the timing edges.
+
+    Returns ``(hit, delay, wires, pins)`` over the graph's edges, where
+    ``hit`` marks edges whose ``(net, sink_rr)`` key matched a routed
+    connection.  Duplicate forest keys (two net pins on one block) carry
+    identical accumulated values, so the first occurrence is taken.
+    """
+    from ..par.forest import join_sorted
+
+    conn_d, conn_w, conn_p, conn_ok = forest.connection_delay_elements(delay_ns, is_wire, is_pin)
+    num_edges = graph.num_edges
+    delay = np.zeros(num_edges)
+    wires = np.zeros(num_edges, dtype=np.int32)
+    pins = np.zeros(num_edges, dtype=np.int32)
+    keys = forest.connection_keys()[conn_ok]
+    if keys.size == 0 or num_edges == 0:
+        return np.zeros(num_edges, dtype=bool), delay, wires, pins
+    uk, ui = np.unique(keys, return_index=True)
+    edge_sink = sink_arr[graph.edge_dst]
+    ekey = graph.edge_net.astype(np.int64) * forest.num_rr_nodes + edge_sink
+    pos, matched = join_sorted(uk, ekey)
+    hit = (edge_sink >= 0) & matched
+    src = ui[pos[hit]]
+    delay[hit] = conn_d[conn_ok][src]
+    wires[hit] = conn_w[conn_ok][src]
+    pins[hit] = conn_p[conn_ok][src]
+    return hit, delay, wires, pins
 
 
 def _walk_connections(conns, delay_ns, is_wire, is_pin, acc):
@@ -106,12 +157,18 @@ def routed_edge_delays(
     placement: Placement,
     device: Device,
     fallback: Optional[np.ndarray] = None,
+    forest=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact edge delays (and wire / pin counts) from route trees.
 
     Returns ``(edge_delay, edge_wires, edge_pins)`` aligned with the graph's
     edge arrays.  Connections whose net has no route tree fall back to
     ``fallback`` (default: the placement estimate).
+
+    With a ``forest`` (:class:`~repro.par.forest.RouteForest`, as the
+    directed kernels attach to their :class:`~repro.par.routing.RoutingResult`)
+    the extraction runs entirely on flat arrays -- no per-net Python walk
+    -- and produces bit-identical delays to the legacy dict walk below.
     """
     from ..fpga.routing_graph import RRNodeType
 
@@ -129,6 +186,20 @@ def routed_edge_delays(
     edge_pins = np.zeros(graph.num_edges, dtype=np.int32)
 
     sink_of = sink_rr_of_blocks(graph.netlist, placement, device)
+
+    if forest is not None:
+        hit, delay, wires, pins = _forest_edge_data(
+            graph,
+            forest,
+            sink_rr_array(graph, sink_of),
+            delay_ns,
+            is_wire,
+            is_pin,
+        )
+        edge_delay[hit] = delay[hit]
+        edge_wires[hit] = wires[hit]
+        edge_pins[hit] = pins[hit]
+        return edge_delay, edge_wires, edge_pins
 
     # Per-net accumulated (delay, wires, pins) at every tree node.
     per_net: Dict[int, Dict[int, Tuple[float, int, int]]] = {}
@@ -199,12 +270,26 @@ def estimated_edge_delays(
     Every connection charges two pin hops (OPIN + IPIN) plus at least one
     wire hop -- the router cannot connect two blocks with fewer resources.
     """
-    num_edges = graph.num_edges
     xs = np.zeros(graph.num_nodes, dtype=np.int64)
     ys = np.zeros(graph.num_nodes, dtype=np.int64)
     for bid, site in placement.block_site.items():
         xs[bid] = site.x
         ys[bid] = site.y
+    return estimated_edge_delays_from_coords(graph, xs, ys, arch)
+
+
+def estimated_edge_delays_from_coords(
+    graph: TimingGraph, xs: np.ndarray, ys: np.ndarray, arch
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`estimated_edge_delays` over flat per-block coordinate arrays.
+
+    This is the re-timing seam of the incremental-STA placer: the annealing
+    kernel hands its live ``block_x`` / ``block_y`` coordinate lists straight
+    in, with no ``Placement`` object on the hot path.
+    """
+    num_edges = graph.num_edges
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
     dist = np.abs(xs[graph.edge_src] - xs[graph.edge_dst]) + np.abs(
         ys[graph.edge_src] - ys[graph.edge_dst]
     )

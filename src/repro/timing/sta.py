@@ -29,6 +29,7 @@ from .delays import (
     estimated_edge_delays,
     routed_edge_delays,
     routed_wirecount_edge_delays,
+    sink_rr_array,
     sink_rr_of_blocks,
     structural_edge_delays,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "TimingAnalysis",
     "CriticalityTracker",
     "analyze",
+    "scan_edge_criticality",
     "structural_net_criticality",
     "net_criticality_from_placement",
 ]
@@ -227,6 +229,17 @@ def _extract_critical_path(
     return elements
 
 
+def scan_edge_criticality(graph: TimingGraph, edge_delay: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Run the two STA scans, return ``(critical_path_ns, edge_criticality)``.
+
+    The thin public face of :func:`_scan` for callers that only need the
+    criticality axis -- the incremental-STA placer re-times through this on
+    every re-weighting step.
+    """
+    *_, crit, dmax, _depth = _scan(graph, edge_delay)
+    return dmax, crit
+
+
 def analyze(
     netlist: PhysicalNetlist,
     routing,
@@ -248,8 +261,11 @@ def analyze(
     graph = build_timing_graph(netlist, arch.lut_delay_ns)
     edge_wires = edge_pins = None
     routes = getattr(routing, "routes", None) if routing is not None else None
+    forest = getattr(routing, "forest", None) if routing is not None else None
     if routes is not None and placement is not None:
-        edge_delay, edge_wires, edge_pins = routed_edge_delays(graph, routes, placement, device)
+        edge_delay, edge_wires, edge_pins = routed_edge_delays(
+            graph, routes, placement, device, forest=forest
+        )
     elif routes is not None:
         edge_delay = routed_wirecount_edge_delays(graph, routes, device)
     elif placement is not None:
@@ -316,13 +332,22 @@ def net_criticality_from_placement(
 class CriticalityTracker:
     """Incremental criticality updates for the timing-driven router.
 
-    Built once per :func:`repro.par.routing.route` call: the timing graph
-    and the block -> SINK-RR mapping are fixed, so each PathFinder
-    iteration's update only re-walks the route trees and re-runs the two
-    levelized scans.  Criticalities are sharpened by ``exponent`` and capped
-    at ``max_criticality`` so every connection keeps paying a slice of the
-    congestion cost (a fully criticality-blind connection would never
-    negotiate).
+    Built once per :func:`repro.par.routing.route` call: the timing graph,
+    the block -> SINK-RR mapping, and the flat *connection index* are fixed,
+    so each PathFinder iteration's update only re-times the route trees and
+    re-runs the two levelized scans.  Criticalities are sharpened by
+    ``exponent`` and capped at ``max_criticality`` so every connection keeps
+    paying a slice of the congestion cost (a fully criticality-blind
+    connection would never negotiate).
+
+    The hot path is the flat API: every unique ``(net, sink_rr)`` pair gets
+    a dense connection id (``conn_index``), :meth:`update_flat` re-times a
+    :class:`~repro.par.forest.RouteForest` with pure NumPy gathers and
+    refreshes :attr:`conn_crit` -- one float64 per connection id, updated in
+    place -- which the routing kernels index directly instead of probing a
+    ``Dict[(net, sink), float]`` per connection.  The dict-returning
+    :meth:`initial` / :meth:`update` remain as the legacy (PR 4) path and
+    the equivalence baseline.
     """
 
     def __init__(
@@ -345,6 +370,100 @@ class CriticalityTracker:
         self.critical_path_ns = 0.0
         self.updates = 0
 
+        # Flat connection index: dense ids over the unique (net, sink_rr)
+        # pairs of the timing edges, plus the edge -> connection map the
+        # folds and joins below gather through.
+        g = self.graph
+        rr = device.rr_graph
+        self._num_rr = rr.num_nodes
+        self._sink_arr = sink_rr_array(g, self._sink_rr)
+        edge_sink = self._sink_arr[g.edge_dst] if g.num_edges else np.zeros(0, dtype=np.int64)
+        from ..par.forest import join_sorted
+
+        valid = edge_sink >= 0
+        ekey = g.edge_net.astype(np.int64) * self._num_rr + edge_sink
+        self._conn_keys = np.unique(ekey[valid])  # sorted: defines cid order
+        self.num_connections = int(self._conn_keys.size)
+        pos, matched = join_sorted(self._conn_keys, ekey)
+        self._edge_conn = np.where(valid & matched, pos, -1).astype(np.int64)
+        #: ``(net_id, sink_rr) -> connection id`` -- the routing kernels
+        #: resolve each net sink once at setup, then index
+        #: :attr:`conn_crit` by id every iteration.
+        self.conn_index: Dict[Tuple[int, int], int] = {
+            (int(k // self._num_rr), int(k % self._num_rr)): cid
+            for cid, k in enumerate(self._conn_keys)
+        }
+        #: flat per-connection criticality, refreshed in place by
+        #: :meth:`initial_flat` / :meth:`update_flat`.
+        self.conn_crit = np.zeros(self.num_connections)
+        self._delay_view = rr.search_view().delay_ns
+        #: per-net fragment memo for build_route_forest: across PathFinder
+        #: iterations only re-routed nets are re-flattened.
+        self._frag_cache: Dict[int, tuple] = {}
+
+    # -- flat hot path -------------------------------------------------------
+
+    def _fold_to_conns(self, crit: np.ndarray) -> np.ndarray:
+        """Sharpen, cap and max-fold edge criticalities into conn_crit."""
+        if self.exponent != 1.0:
+            crit = crit**self.exponent
+        crit = np.minimum(crit, self.max_criticality)
+        self.conn_crit.fill(0.0)
+        ec = self._edge_conn
+        m = ec >= 0
+        if m.any():
+            np.maximum.at(self.conn_crit, ec[m], crit[m])
+        return self.conn_crit
+
+    def initial_flat(self) -> np.ndarray:
+        """Placement-estimate criticalities as the flat conn_crit vector."""
+        *_, crit, dmax, _depth = _scan(self.graph, self._estimate)
+        self.critical_path_ns = dmax
+        return self._fold_to_conns(crit)
+
+    def update_flat(self, routes, forest=None) -> np.ndarray:
+        """Re-time the route trees over the flat forest, in place.
+
+        ``forest`` defaults to flattening ``routes`` (the directed kernels'
+        trees carry connection lists, so the build is one cheap pass); the
+        delay extraction, STA scans and criticality fold are then pure
+        NumPy.  Returns :attr:`conn_crit` (the same array object every
+        call).
+        """
+        if forest is None:
+            from ..par.forest import build_route_forest
+
+            forest = build_route_forest(routes, self.device.rr_graph, cache=self._frag_cache)
+        edge_delay = self._edge_delay_from_forest(forest)
+        *_, crit, dmax, _depth = _scan(self.graph, edge_delay)
+        self.critical_path_ns = dmax
+        self.updates += 1
+        return self._fold_to_conns(crit)
+
+    def _edge_delay_from_forest(self, forest) -> np.ndarray:
+        """Routed edge delays from the forest (estimate where unrouted)."""
+        from ..par.forest import join_sorted
+
+        conn_d, ok = forest.connection_delays(self._delay_view)
+        keys = forest.connection_keys()
+        edge_delay = self._estimate.copy()
+        if keys.size == 0 or self.num_connections == 0:
+            return edge_delay
+        # Scatter the forest connections onto the tracker's cid space.
+        # Duplicate keys (two net pins on one block) carry identical
+        # accumulated delays, so last-write-wins is exact.
+        pos, matched = join_sorted(self._conn_keys, keys)
+        hit = ok & matched
+        cid_delay = np.full(self.num_connections, np.nan)
+        cid_delay[pos[hit]] = conn_d[hit]
+        ec = self._edge_conn
+        d = cid_delay[np.maximum(ec, 0)]
+        use = (ec >= 0) & ~np.isnan(d)
+        edge_delay[use] = d[use]
+        return edge_delay
+
+    # -- legacy dict path (PR 4; kept as the equivalence baseline) -----------
+
     def _to_conn_dict(self, crit: np.ndarray) -> Dict[Tuple[int, int], float]:
         if self.exponent != 1.0:
             crit = crit**self.exponent
@@ -362,13 +481,13 @@ class CriticalityTracker:
         return out
 
     def initial(self) -> Dict[Tuple[int, int], float]:
-        """Placement-estimate criticalities for the first iteration."""
+        """Placement-estimate criticalities for the first iteration (dict)."""
         *_, crit, dmax, _depth = _scan(self.graph, self._estimate)
         self.critical_path_ns = dmax
         return self._to_conn_dict(crit)
 
     def update(self, routes) -> Dict[Tuple[int, int], float]:
-        """Re-time the current route trees, return fresh criticalities."""
+        """Re-time the route trees with the per-net dict walk (dict)."""
         edge_delay, _w, _p = routed_edge_delays(
             self.graph, routes, self.placement, self.device, fallback=self._estimate
         )
