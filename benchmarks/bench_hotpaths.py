@@ -588,6 +588,72 @@ def bench_retime(netlist, arch, placement, width):
     }
 
 
+def bench_resilience(netlist, arch, placement, width):
+    """The resilient execution path must be free when nothing fails.
+
+    Two claims are measured and gated (see RESILIENCE.md):
+
+    * a fault-free ``route_resilient`` call returns the *bit-identical*
+      result of a plain ``route`` call -- same wirelength, same iteration
+      count, same per-net node lists -- with an empty recovery-event log
+      (``check_quality.py`` fails the build on any degradation event);
+    * the disabled injection hook ``repro.util.inject`` is cheap enough
+      for hot loops: one module-global load + a ``None`` compare, measured
+      here in ns/call next to a dict-lookup baseline for scale.
+
+    The section runs under ``fault_plan(None)`` so a stray ambient
+    ``REPRO_FAULT_PLAN`` in the environment cannot turn the fault-free
+    measurement into a chaos run.
+    """
+    from repro.par.routing import route_resilient
+    from repro.util import count_events, fault_plan, inject
+
+    with fault_plan(None):
+        device = build_device(arch.with_channel_width(width))
+        base, base_s = _timed(
+            lambda: route(netlist, placement, device, kernel="wavefront")
+        )
+        events = []
+        res, res_s = _timed(
+            lambda: route_resilient(
+                netlist, placement, device, kernel="wavefront", events=events
+            )
+        )
+        identical = (
+            res.success == base.success
+            and res.wirelength == base.wirelength
+            and res.iterations == base.iterations
+            and all(res.routes[k].nodes == r.nodes for k, r in base.routes.items())
+        )
+        zero_events = len(events) == 0
+        degradations = count_events(events, "degraded-kernel")
+
+        # ns/call of the disabled hook, best of 3 sweeps.
+        calls = 200_000
+        inject_ns = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                inject("bench.site")
+            dt = (time.perf_counter() - t0) / calls * 1e9
+            inject_ns = dt if inject_ns is None else min(inject_ns, dt)
+
+    return {
+        "workload": (
+            f"{len(netlist.nets)} nets at W={width}: route_resilient vs route, "
+            f"disabled inject() x{calls}"
+        ),
+        "route_seconds": base_s,
+        "route_resilient_seconds": res_s,
+        "overhead_ratio": res_s / base_s if base_s else 1.0,
+        "inject_disabled_ns_per_call": inject_ns,
+        "identical_outputs": identical,
+        "recovery_events": len(events),
+        "degradation_events": degradations,
+        "ok": identical and zero_events,
+    }
+
+
 def _tiled_netlist(base, k):
     """k disjoint copies of ``base`` as one netlist (synthetic scale-up)."""
     nl = PhysicalNetlist(f"{base.name}x{k}")
@@ -686,6 +752,8 @@ def main() -> int:
     )
     print("benchmarking flat-forest retime ...")
     retime_result = bench_retime(netlist, arch, flow_placement, width)
+    print("benchmarking resilient execution path ...")
+    resilience_result = bench_resilience(netlist, arch, placement, width)
     print("benchmarking auto-kernel crossover ...")
     crossover_result = bench_auto_crossover(netlist)
 
@@ -706,6 +774,7 @@ def main() -> int:
             "routing": routing_result,
             "timing": timing_result,
             "retime": retime_result,
+            "resilience": resilience_result,
             "auto_crossover": crossover_result,
         },
     }
@@ -742,6 +811,14 @@ def main() -> int:
                 f"({entry['retime_speedup']:.2f}x / {entry['retime_speedup_rerouted']:.2f}x, "
                 f"extract {entry['extraction_speedup']:.2f}x, "
                 f"identical={entry['criticality_identical'] and entry['delays_identical']})"
+            )
+        elif name == "resilience":
+            print(
+                f"{name:11s} {flag} route {entry['route_seconds'] * 1000:7.1f}ms vs "
+                f"resilient {entry['route_resilient_seconds'] * 1000:7.1f}ms "
+                f"(x{entry['overhead_ratio']:.3f}), disabled inject "
+                f"{entry['inject_disabled_ns_per_call']:.0f}ns/call, "
+                f"events={entry['recovery_events']}"
             )
         elif name == "auto_crossover":
             pts = " ".join(

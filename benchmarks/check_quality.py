@@ -22,6 +22,10 @@ benchmark shows
 * a flat-forest retime failure: the flat path must stay bit-identical to
   the dict walk, and its steady-state speedup must hold at least 75% of
   the 3x target (>25% cost regression fails),
+* a resilience regression: the fault-free ``route_resilient`` path diverged
+  from a plain ``route`` call, or logged recovery/degradation events with
+  no fault injected (zero events is the fault-free contract, see
+  RESILIENCE.md),
 * a missing or non-convergent ``auto_crossover`` section (the measured
   astar/wavefront ratios back the ``kernel="auto"`` constant).
 
@@ -146,6 +150,27 @@ def check(report: dict) -> list:
             problems.append(
                 f"retime: flat retime only {speedup:.2f}x over the dict walk "
                 f"(> 25% regression from the {RETIME_TARGET}x target)"
+            )
+
+    resilience = kernels.get("resilience", {})
+    if not resilience:
+        problems.append("resilience: benchmark section missing")
+    else:
+        if not resilience.get("identical_outputs", False):
+            problems.append(
+                "resilience: fault-free route_resilient diverged from plain route"
+            )
+        # The fault-free bench run must not take any recovery path at all:
+        # a degradation event here means a kernel failed or timed out with
+        # no fault injected, which is a real regression, not chaos.
+        if resilience.get("recovery_events", 1) != 0:
+            problems.append(
+                f"resilience: {resilience.get('recovery_events')} recovery "
+                "event(s) on a fault-free benchmark run (expected zero)"
+            )
+        if resilience.get("degradation_events", 1) != 0:
+            problems.append(
+                "resilience: kernel degradation on a fault-free benchmark run"
             )
 
     crossover = kernels.get("auto_crossover", {})

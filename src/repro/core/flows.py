@@ -63,6 +63,11 @@ class PEFlowResult:
             row["routed"] = self.par.routing.success
             row["critical_path_ns"] = self.par.timing.critical_path_ns
             row["objective"] = self.par.objective
+            if self.par.events:
+                # Recovery provenance: a row produced through cache
+                # fallbacks, pool resubmits or kernel degradation says so.
+                row["recovery_events"] = len(self.par.events)
+                row["degraded_kernel"] = self.par.degraded
         return row
 
 
@@ -128,6 +133,7 @@ def run_pe_flow(
     seed: int = 0,
     workers: Optional[int] = None,
     objective: str = "wirelength",
+    route_deadline_s: Optional[float] = None,
 ) -> PEFlowResult:
     """Push a circuit through one complete flow (synthesis -> mapping -> PaR).
 
@@ -135,7 +141,10 @@ def run_pe_flow(
     step over a process pool; route/placement results are memoized on disk
     when the ``REPRO_PAR_CACHE`` environment variable names a directory.
     ``objective="timing"`` runs criticality-driven placement and routing
-    (see :func:`repro.par.flow.place_and_route`).
+    (see :func:`repro.par.flow.place_and_route`).  ``route_deadline_s``
+    bounds each routing kernel's wall time; a kernel that exceeds it
+    degrades down the wavefront->astar->fast chain with the switch
+    recorded in the result's events.
     """
     elapsed: Dict[str, float] = {}
 
@@ -163,6 +172,7 @@ def run_pe_flow(
             seed=seed,
             workers=workers,
             objective=objective,
+            route_deadline_s=route_deadline_s,
         )
         elapsed["place_and_route"] = time.perf_counter() - t0
 

@@ -1,6 +1,6 @@
 """TPaR-style physical CAD: placement (TPLACE), routing (TROUTE), metrics, timing."""
 
-from .cache import PaRCache
+from .cache import CacheIOError, PaRCache
 from .flow import (
     PaRResult,
     best_placement,
@@ -9,14 +9,22 @@ from .flow import (
     placement_sweep,
 )
 from .forest import RouteForest, build_route_forest
-from .metrics import MinChannelWidthResult, channel_occupancy, minimum_channel_width
+from .metrics import (
+    ChannelWidthError,
+    MinChannelWidthResult,
+    channel_occupancy,
+    minimum_channel_width,
+)
 from .netlist import Block, Net, PhysicalNetlist, from_mapped_network
 from .placement import Placement, PlacementResult, hpwl, place, random_placement
-from .routing import NetRoute, RoutingResult, route
+from .routing import NetRoute, RoutingResult, route, route_resilient
 from .timing import TimingReport, analyze_timing
 
 __all__ = [
     "PaRCache",
+    "CacheIOError",
+    "ChannelWidthError",
+    "route_resilient",
     "PaRResult",
     "place_and_route",
     "cached_route",

@@ -27,14 +27,20 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..fpga.architecture import FPGAArchitecture
+from ..util.resilience import inject, record_event
 from .netlist import PhysicalNetlist
 from .placement import Placement
 
-__all__ = ["PaRCache", "ROUTE_ALGO_VERSION", "PLACE_ALGO_VERSION"]
+__all__ = ["PaRCache", "CacheIOError", "ROUTE_ALGO_VERSION", "PLACE_ALGO_VERSION"]
+
+
+class CacheIOError(OSError):
+    """A cache read/write failed and the cache was opened with ``strict=True``."""
 
 #: Bump when a routing kernel change makes cached route metrics stale.
 #: v4: route values carry the serialized flat route forest (the actual
@@ -73,11 +79,18 @@ def _arch_fingerprint(arch: FPGAArchitecture) -> str:
 class PaRCache:
     """Content-addressed JSON store for PAR metrics, safe for process pools."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    #: Directories already warned about for dropped writes (process-wide, so
+    #: a pool of caches over one shared directory warns once, not per worker).
+    _warned_dirs: set = set()
+
+    def __init__(self, directory: Union[str, Path], strict: bool = False) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.strict = strict
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
+        self.dropped_writes = 0
 
     @classmethod
     def from_env(cls) -> Optional["PaRCache"]:
@@ -85,38 +98,99 @@ class PaRCache:
         directory = os.environ.get("REPRO_PAR_CACHE")
         return cls(directory) if directory else None
 
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits/misses plus the failure-path tallies.
+
+        ``read_errors`` counts entries that existed but could not be decoded
+        (corrupt/truncated JSON, permission errors); ``dropped_writes`` counts
+        ``put()`` calls that failed and were discarded.  Both are zero on a
+        healthy cache directory.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "read_errors": self.read_errors,
+            "dropped_writes": self.dropped_writes,
+        }
+
     # -- generic key/value store ------------------------------------------------
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(
+        self, key: str, events: Optional[List[Dict[str, Any]]] = None
+    ) -> Optional[Dict[str, Any]]:
         path = self._path(key)
         try:
+            fault = inject("cache.read")
+            if fault == "corrupt":
+                raise ValueError(f"injected corrupt cache entry for {key}")
+            if fault is not None:
+                raise OSError(f"injected cache read fault ({fault}) for {key}")
             with open(path, "r", encoding="utf-8") as fh:
                 value = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            # A plain miss: the entry was never written.  Not an error.
             self.misses += 1
+            return None
+        except (OSError, ValueError) as exc:
+            # The entry exists but cannot be decoded -- a rotted shared
+            # directory, a torn write from a non-atomic producer, or an
+            # injected fault.  Treat as a miss and recompute.
+            self.misses += 1
+            self.read_errors += 1
+            record_event(events, "cache-read-error", site="cache.read",
+                         key=key, error=f"{type(exc).__name__}: {exc}")
+            if self.strict:
+                raise CacheIOError(f"cache read failed for {key}: {exc}") from exc
             return None
         self.hits += 1
         return value
 
-    def put(self, key: str, value: Dict[str, Any]) -> None:
+    def put(
+        self,
+        key: str,
+        value: Dict[str, Any],
+        events: Optional[List[Dict[str, Any]]] = None,
+    ) -> bool:
         path = self._path(key)
         tmp = None
         try:
+            fault = inject("cache.write")
+            if fault is not None:
+                raise OSError(f"injected cache write fault ({fault}) for {key}")
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(value, fh)
             os.replace(tmp, path)
-        except OSError:
+            return True
+        except OSError as exc:
             # The cache is an optimization: a full disk or an unwritable
-            # shared directory must never fail the flow that uses it.
+            # shared directory must never fail the flow that uses it.  The
+            # drop is counted, surfaced in stats()/events, and warned about
+            # once per directory so a rotted nightly cache is noticed.
             if tmp is not None:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
+            self.dropped_writes += 1
+            record_event(events, "cache-write-dropped", site="cache.write",
+                         key=key, error=f"{type(exc).__name__}: {exc}")
+            dir_key = str(self.directory)
+            if dir_key not in PaRCache._warned_dirs:
+                PaRCache._warned_dirs.add(dir_key)
+                warnings.warn(
+                    f"PaRCache dropped a write to {dir_key} ({exc}); further "
+                    "drops to this directory are counted in cache.stats() "
+                    "but not warned about again",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if self.strict:
+                raise CacheIOError(f"cache write failed for {key}: {exc}") from exc
+            return False
 
     # -- domain keys ------------------------------------------------------------
 

@@ -25,9 +25,10 @@ criticality-driven cost functions (:func:`timing_driven_placement`,
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,13 +43,15 @@ from ..timing.sta import (
     net_criticality_from_placement,
     scan_edge_criticality,
 )
+from ..util.resilience import FaultInjected, count_events, inject, record_event
 from .cache import PaRCache
 from .metrics import MinChannelWidthResult, minimum_channel_width
 from .netlist import PhysicalNetlist, from_mapped_network
 from .placement import Placement, PlacementResult, TimingCost, place
 from .routing import (
+    WAVEFRONT_AUTO_MIN_NODES,
     RoutingResult,
-    route,
+    route_resilient,
     routing_from_payload,
     routing_to_payload,
 )
@@ -80,6 +83,11 @@ class PaRResult:
     #: derived from it.
     sta: Optional[TimingAnalysis] = None
     objective: str = "wirelength"
+    #: structured recovery log: every fault hit, retry, cache fallback,
+    #: pool resubmit and kernel degradation the flow absorbed while
+    #: producing this result (see RESILIENCE.md for the event taxonomy).
+    #: Empty on a fault-free run.
+    events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def wirelength(self) -> int:
@@ -88,6 +96,11 @@ class PaRResult:
     @property
     def logic_depth(self) -> int:
         return self.timing.logic_depth
+
+    @property
+    def degraded(self) -> bool:
+        """True when the routing kernel degradation chain was taken."""
+        return count_events(self.events, "degraded-kernel") > 0
 
     def summary(self) -> Dict[str, float]:
         """Key metrics as a flat dict (used by the Table I benchmark)."""
@@ -103,6 +116,8 @@ class PaRResult:
             "array_side": self.device.arch.width,
             "routed": self.routing.success,
             "objective": self.objective,
+            "recovery_events": len(self.events),
+            "degraded_kernel": count_events(self.events, "degraded-kernel"),
         }
         if self.sta is not None:
             out["worst_slack_ns"] = self.sta.summary()["worst_slack_ns"]
@@ -120,8 +135,11 @@ def cached_route(
     kernel: str = "wavefront",
     objective: str = "wirelength",
     criticality_exponent: float = 1.0,
+    deadline_s: Optional[float] = None,
+    degrade: bool = True,
+    events: Optional[List[Dict[str, Any]]] = None,
 ) -> RoutingResult:
-    """:func:`~repro.par.routing.route` with on-disk route-tree memoization.
+    """Resilient :func:`~repro.par.routing.route` with on-disk memoization.
 
     The cache value carries the flat route forest next to the metrics, so a
     hit re-hydrates the *full* :class:`RoutingResult` -- route trees
@@ -129,9 +147,25 @@ def cached_route(
     re-run the same (netlist, placement, architecture) triple pay the
     route once per machine.  Kernels without a forest (``fast`` /
     ``reference``) and corrupt or pre-forest cache entries degrade to a
-    plain :func:`route` call.  Routing is deterministic for fixed inputs,
-    so a re-hydrated result is the one a fresh route would return.
+    plain route call.  Routing is deterministic for fixed inputs, so a
+    re-hydrated result is the one a fresh route would return.
+
+    Failure semantics (all recorded into ``events``): a corrupt cache
+    entry or a bad forest payload falls back to a fresh route
+    (``cache-fallback``); the route itself runs under
+    :func:`~repro.par.routing.route_resilient` with a ``deadline_s``
+    per-kernel budget and the wavefront->astar->fast degradation chain.
+    A result produced by a *degraded* kernel is never stored under the
+    requested kernel's key, so one bad run cannot poison the cache for
+    fault-free reruns.
     """
+    resolved = kernel
+    if resolved == "auto":
+        resolved = (
+            "wavefront"
+            if device.rr_graph.num_nodes >= WAVEFRONT_AUTO_MIN_NODES
+            else "astar"
+        )
     key = None
     if cache is not None and kernel not in ("fast", "reference"):
         key = PaRCache.route_key(
@@ -144,12 +178,20 @@ def cached_route(
             objective=objective,
             tag=f"x{criticality_exponent}" if objective == "timing" else "",
         )
-        hit = cache.get(key)
+        hit = cache.get(key, events=events)
         if hit is not None:
-            result = routing_from_payload(hit)
-            if result is not None:
+            result = None
+            if inject("cache.hydrate") is None:
+                result = routing_from_payload(hit)
+            if result is not None and (
+                result.kernel is None or result.kernel == resolved
+            ):
                 return result
-    result = route(
+            # Entry exists but cannot be trusted (corrupt forest payload,
+            # injected hydration fault, or a kernel mismatch from a
+            # degraded historic write): route fresh and overwrite it.
+            record_event(events, "cache-fallback", site="cache.hydrate", key=key)
+    result = route_resilient(
         netlist,
         placement,
         device,
@@ -157,11 +199,14 @@ def cached_route(
         kernel=kernel,
         objective=objective,
         criticality_exponent=criticality_exponent,
+        deadline_s=deadline_s,
+        degrade=degrade,
+        events=events,
     )
-    if key is not None:
+    if key is not None and result.kernel == resolved:
         payload = routing_to_payload(result)
         if payload is not None:
-            cache.put(key, payload)
+            cache.put(key, payload, events=events)
     return result
 
 
@@ -183,6 +228,7 @@ def place_and_route(
     timing_tradeoff: Optional[float] = None,
     timing_passes: int = 2,
     timing_placer: str = "incremental",
+    route_deadline_s: Optional[float] = None,
 ) -> PaRResult:
     """Run the full TPaR flow (TPLACE + TROUTE) on a mapped network.
 
@@ -225,6 +271,14 @@ def place_and_route(
     With a ``cache`` (or ``REPRO_PAR_CACHE`` set) the main route is served
     through :func:`cached_route`: repeated flows over the same placed
     design re-hydrate their route trees from disk instead of re-routing.
+
+    The flow is *resilient*: cache rot falls back to recomputation, a
+    crashed pool worker in the min-channel-width search resubmits its
+    probes serially, and ``route_deadline_s`` bounds each routing kernel's
+    wall time with automatic degradation down the
+    wavefront->astar->fast chain.  Every recovery taken is recorded in
+    :attr:`PaRResult.events`; a fault-free run has an empty list and is
+    bit-identical to the pre-resilience flow.
     """
     if objective not in ("wirelength", "timing"):
         raise ValueError(f"unknown PAR objective {objective!r}")
@@ -257,6 +311,7 @@ def place_and_route(
             effort=placement_effort,
             kernel=placement_kernel,
         )
+    events: List[Dict[str, Any]] = []
     routing = cached_route(
         netlist,
         placement.placement,
@@ -266,6 +321,8 @@ def place_and_route(
         kernel=route_kernel,
         objective=objective,
         criticality_exponent=2.0 if objective == "timing" else 1.0,
+        deadline_s=route_deadline_s,
+        events=events,
     )
     sta = analyze(netlist, routing, device, placement=placement.placement)
     timing = report_from_analysis(sta, network, routing, device)
@@ -282,6 +339,7 @@ def place_and_route(
             workers=workers,
             cache=cache,
         )
+        events.extend(min_cw.events)
 
     return PaRResult(
         network=network,
@@ -293,6 +351,7 @@ def place_and_route(
         min_channel_width=min_cw,
         sta=sta,
         objective=objective,
+        events=events,
     )
 
 
@@ -426,6 +485,13 @@ def timing_driven_placement(
 def _place_seed_task(args: Tuple) -> Tuple[int, Dict]:
     """Pool worker: anneal one seed, return JSON-serializable placement data."""
     netlist, arch, seed, effort, inner_num, kernel = args
+    fault = inject("sweep.place")
+    if fault == "crash":
+        # Simulated hard worker death: kills the process without unwinding,
+        # which the parent sees as a BrokenProcessPool.
+        os._exit(13)
+    if fault is not None:
+        raise FaultInjected("sweep.place", kind=fault)
     result = place(netlist, arch, seed=seed, effort=effort, inner_num=inner_num, kernel=kernel)
     return seed, _placement_payload(result)
 
@@ -472,6 +538,7 @@ def placement_sweep(
     kernel: str = "batched",
     workers: Optional[int] = None,
     cache: Optional[PaRCache] = None,
+    events: Optional[List[Dict[str, Any]]] = None,
 ) -> List[PlacementResult]:
     """Anneal ``netlist`` once per seed, in parallel, with on-disk memoization.
 
@@ -479,6 +546,12 @@ def placement_sweep(
     (netlist, arch, seed, effort, kernel) combination is placed at most once
     per cache directory; repeated sweeps (quality baselines, benchmark
     harness re-runs) are served from disk.
+
+    A worker that crashes or raises does not lose the sweep: its seeds are
+    resubmitted *serially* in the parent process (recorded as
+    ``pool-failure`` + ``serial-resubmit`` events), and annealing is
+    deterministic per seed, so the recovered sweep equals a ``workers=1``
+    run.
     """
     if cache is None:
         cache = PaRCache.from_env()
@@ -488,24 +561,43 @@ def placement_sweep(
     for seed in seeds:
         if cache is not None:
             keys[seed] = PaRCache.place_key(netlist, arch, seed, effort, inner_num, kernel)
-            hit = cache.get(keys[seed])
+            hit = cache.get(keys[seed], events=events)
             if hit is not None:
                 results[seed] = _placement_from_payload(hit)
                 continue
         todo.append(seed)
 
     tasks = [(netlist, arch, seed, effort, inner_num, kernel) for seed in todo]
+    outcomes: List[Tuple[int, Dict]] = []
+    failed: List[Tuple] = []
     if workers and workers > 1 and len(tasks) > 1:
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            outcomes = list(pool.map(_place_seed_task, tasks))
+            futures = [(pool.submit(_place_seed_task, task), task) for task in tasks]
+            for future, task in futures:
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    # Worker crash (BrokenProcessPool), injected fault, or a
+                    # genuine placement error: defer to the serial pass.  A
+                    # deterministic error reproduces there, now with a
+                    # usable traceback in the parent.
+                    record_event(events, "pool-failure", site="sweep.place",
+                                 seed=task[2],
+                                 error=f"{type(exc).__name__}: {exc}")
+                    failed.append(task)
     else:
-        outcomes = [_place_seed_task(task) for task in tasks]
+        failed = tasks
+    for task in failed:
+        outcomes.append(_place_seed_task(task))
+    if failed and failed is not tasks:
+        record_event(events, "serial-resubmit", site="sweep.place",
+                     seeds=[t[2] for t in failed])
     for seed, payload in outcomes:
         results[seed] = _placement_from_payload(payload)
         if cache is not None:
             cache.put(keys.get(seed) or PaRCache.place_key(
                 netlist, arch, seed, effort, inner_num, kernel
-            ), payload)
+            ), payload, events=events)
 
     return [results[seed] for seed in seeds]
 

@@ -294,13 +294,24 @@ class RouteForest:
         if P:
             if int(self.net_node_ptr[-1]) != P or int(self.conn_ptr[-1]) > P:
                 raise ValueError("route forest: pointer arrays out of range")
-            if int(self.parent.max()) >= P:
+            if int(self.parent.max()) >= P or int(self.parent.min()) < -1:
                 raise ValueError("route forest: parent positions out of range")
-            if C and int(self.conn_sink_pos.max()) >= P:
+            if C and (
+                int(self.conn_sink_pos.max()) >= P
+                or int(self.conn_sink_pos.min()) < -1
+            ):
                 raise ValueError("route forest: sink positions out of range")
-            if int(self.node.max()) >= self.num_rr_nodes:
+            if int(self.node.max()) >= self.num_rr_nodes or int(self.node.min()) < 0:
                 raise ValueError("route forest: RR node ids out of range")
+            if int(self.depth.min()) < 1:
+                raise ValueError("route forest: tree depths out of range")
+            if int(self.net_node_ptr.min()) < 0 or int(self.conn_ptr.min()) < 0:
+                raise ValueError("route forest: pointer arrays out of range")
+            if (np.diff(self.net_node_ptr) < 0).any() or (np.diff(self.conn_ptr) < 0).any():
+                raise ValueError("route forest: pointer arrays not monotonic")
         if N and int(self.net_ptr[-1]) != C:
+            raise ValueError("route forest: connection pointers out of range")
+        if N and (int(self.net_ptr.min()) < 0 or (np.diff(self.net_ptr) < 0).any()):
             raise ValueError("route forest: connection pointers out of range")
 
 

@@ -17,15 +17,17 @@ instead of recomputing them.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..fpga.architecture import FPGAArchitecture
 from ..fpga.device import Device, build_device
 from ..fpga.routing_graph import RRNodeType
+from ..util.resilience import FaultInjected, inject, record_event
 from .cache import PaRCache
 from .netlist import PhysicalNetlist
 from .placement import Placement
@@ -35,7 +37,25 @@ __all__ = [
     "channel_occupancy",
     "minimum_channel_width",
     "MinChannelWidthResult",
+    "ChannelWidthError",
 ]
+
+
+class ChannelWidthError(RuntimeError):
+    """The minimum-channel-width search gave up.
+
+    Subclasses ``RuntimeError`` for backward compatibility; carries the
+    probe history so callers can log *why* bisection failed -- one
+    ``{"converged": bool, "iterations": int | None}`` entry per width
+    probed before giving up (``iterations`` is ``None`` for probes served
+    by a pre-resilience cache entry or aborted by a search error).
+    """
+
+    def __init__(
+        self, message: str, probes: Optional[Dict[int, Dict[str, Any]]] = None
+    ) -> None:
+        super().__init__(message)
+        self.probes: Dict[int, Dict[str, Any]] = dict(probes or {})
 
 
 def channel_occupancy(result: RoutingResult, device: Device) -> Dict[str, int]:
@@ -65,6 +85,9 @@ class MinChannelWidthResult:
     #: minimum width; ``None`` only for legacy cache entries that predate
     #: the timing subsystem (the cache version bump makes those misses).
     timing_at_min: Optional[Dict[str, float]] = None
+    #: structured recovery log of the search (pool failures, serial
+    #: resubmits, cache read errors); empty on a fault-free run.
+    events: List[Dict[str, Any]] = field(default_factory=list)
 
     def describe(self) -> str:
         tried = ", ".join(
@@ -73,12 +96,15 @@ class MinChannelWidthResult:
         return f"min CW = {self.min_channel_width} ({tried})"
 
 
-def _route_width_task(args: Tuple) -> Tuple[int, bool, int, Optional[Dict]]:
+def _route_width_task(
+    args: Tuple,
+) -> Tuple[int, bool, int, Optional[Dict], Optional[int]]:
     """Pool worker: route at one channel width.
 
-    Returns ``(width, ok, wirelength, timing_summary)`` -- the timing
-    summary rides along so the cache keeps the delay axis next to the
-    wirelength metrics.  The STA runs only on converged routes: the search
+    Returns ``(width, ok, wirelength, timing_summary, iterations)`` -- the
+    timing summary rides along so the cache keeps the delay axis next to
+    the wirelength metrics, and the iteration count feeds the probe
+    history of :class:`ChannelWidthError`.  The STA runs only on converged routes: the search
     spends most of its probes on deliberately-congested widths whose
     timing would be both meaningless and wasted work.  Route *trees* are
     deliberately not serialized here: the probe keys (probe kernel, probe
@@ -89,6 +115,13 @@ def _route_width_task(args: Tuple) -> Tuple[int, bool, int, Optional[Dict]]:
     from ..timing.sta import analyze
 
     netlist, placement, base_arch, width, max_iterations, kernel = args
+    fault = inject("cw.probe")
+    if fault == "crash":
+        # Simulated hard worker death: kills the process without unwinding,
+        # which the parent sees as a BrokenProcessPool.
+        os._exit(13)
+    if fault is not None:
+        raise FaultInjected("cw.probe", kind=fault)
     device = build_device(base_arch.with_channel_width(width))
     try:
         result = route(
@@ -99,11 +132,13 @@ def _route_width_task(args: Tuple) -> Tuple[int, bool, int, Optional[Dict]]:
             kernel=kernel,
         )
     except RuntimeError:
-        return width, False, 0, None
+        # An unreachable sink at this width is a legitimate probe outcome
+        # (the width is below the minimum), not a worker failure.
+        return width, False, 0, None, None
     timing = None
     if result.success:
         timing = analyze(netlist, result, device, placement=placement).summary()
-    return width, result.success, result.wirelength, timing
+    return width, result.success, result.wirelength, timing, result.iterations
 
 
 def _interior_points(lo: int, hi: int, count: int) -> List[int]:
@@ -149,10 +184,19 @@ def minimum_channel_width(
     faster, while the wavefront kernel's strength is the converging route.
     The kernels agree on routability (all are gated to reference-class
     quality), so the found width is the same.
+
+    A pool worker that crashes or raises does not lose the search: its
+    probes are resubmitted serially in the parent (``pool-failure`` +
+    ``serial-resubmit`` in :attr:`MinChannelWidthResult.events`), and
+    routing is deterministic per width, so the recovered search returns
+    the ``workers=1`` result.  When even an extremely wide channel fails,
+    :class:`ChannelWidthError` carries the full probe history.
     """
     attempts: Dict[int, bool] = {}
     wl_at: Dict[int, int] = {}
     timing_at: Dict[int, Dict] = {}
+    iters_at: Dict[int, Optional[int]] = {}
+    events: List[Dict[str, Any]] = []
     pool_size = max(1, workers or 1)
 
     def record(
@@ -160,9 +204,11 @@ def minimum_channel_width(
         ok: bool,
         wirelength: int,
         timing: Optional[Dict] = None,
+        iterations: Optional[int] = None,
         from_cache: bool = False,
     ) -> None:
         attempts[width] = ok
+        iters_at[width] = iterations
         if ok:
             wl_at[width] = wirelength
             if timing is not None:
@@ -179,7 +225,9 @@ def minimum_channel_width(
             value = {"success": ok, "wirelength": wirelength}
             if timing is not None:
                 value["timing"] = timing
-            cache.put(key, value)
+            if iterations is not None:
+                value["iterations"] = iterations
+            cache.put(key, value, events=events)
 
     def evaluate(widths: List[int]) -> None:
         """Route every not-yet-attempted width, via cache/pool when possible."""
@@ -196,13 +244,14 @@ def minimum_channel_width(
                     max_router_iterations,
                     route_kernel,
                 )
-                hit = cache.get(key)
+                hit = cache.get(key, events=events)
                 if hit is not None:
                     record(
                         w,
                         bool(hit["success"]),
                         int(hit["wirelength"]),
                         timing=hit.get("timing"),
+                        iterations=hit.get("iterations"),
                         from_cache=True,
                     )
                     continue
@@ -213,14 +262,30 @@ def minimum_channel_width(
             (netlist, placement, base_arch, w, max_router_iterations, route_kernel)
             for w in todo
         ]
+        failed: List[Tuple] = []
         if pool_size > 1 and len(todo) > 1:
             with ProcessPoolExecutor(max_workers=min(pool_size, len(todo))) as pool:
-                for w, ok, wl, timing in pool.map(_route_width_task, tasks):
-                    record(w, ok, wl, timing)
+                futures = [
+                    (pool.submit(_route_width_task, task), task) for task in tasks
+                ]
+                for future, task in futures:
+                    try:
+                        record(*future.result())
+                    except Exception as exc:
+                        # Worker crash (BrokenProcessPool), injected fault,
+                        # or a genuine routing error: defer to the serial
+                        # pass below.  Probes that completed are preserved.
+                        record_event(events, "pool-failure", site="cw.probe",
+                                     width=task[3],
+                                     error=f"{type(exc).__name__}: {exc}")
+                        failed.append(task)
+            if failed:
+                record_event(events, "serial-resubmit", site="cw.probe",
+                             widths=[t[3] for t in failed])
         else:
-            for task in tasks:
-                w, ok, wl, timing = _route_width_task(task)
-                record(w, ok, wl, timing)
+            failed = tasks
+        for task in failed:
+            record(*_route_width_task(task))
 
     # Ensure the upper bound routes; widen if necessary.
     hi = high
@@ -228,7 +293,13 @@ def minimum_channel_width(
     while not attempts[hi]:
         hi *= 2
         if hi > 512:
-            raise RuntimeError("design does not route even with an extremely wide channel")
+            raise ChannelWidthError(
+                "design does not route even with an extremely wide channel",
+                probes={
+                    w: {"converged": ok, "iterations": iters_at.get(w)}
+                    for w, ok in sorted(attempts.items())
+                },
+            )
         evaluate([hi])
     evaluate([low])
     if attempts[low]:
@@ -251,4 +322,5 @@ def minimum_channel_width(
         attempts=attempts,
         wirelength_at_min=wl_at.get(best, 0),
         timing_at_min=timing_at.get(best),
+        events=events,
     )

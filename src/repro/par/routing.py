@@ -58,6 +58,7 @@ import numpy as np
 
 from ..fpga.device import Device
 from ..fpga.routing_graph import RR_BASE_COST, RRGraph, RRNodeType
+from ..util.resilience import Deadline, DeadlineExceeded, FaultInjected, inject, record_event
 from .forest import RouteForest, build_route_forest
 from .netlist import PhysicalNetlist
 from .placement import Placement
@@ -65,6 +66,8 @@ from .placement import Placement
 __all__ = [
     "RoutingResult",
     "route",
+    "route_resilient",
+    "DEGRADATION_CHAIN",
     "NetRoute",
     "terminal_rr_nodes",
     "routing_to_payload",
@@ -105,6 +108,12 @@ class RoutingResult:
     #: engine consumes it with pure NumPy gathers, and the PaR cache
     #: serializes it so cache hits re-hydrate routes instead of re-routing.
     forest: Optional[RouteForest] = None
+    #: the kernel that actually produced this result ("auto" resolved);
+    #: :func:`route_resilient` may return a different kernel than requested
+    #: (degradation chain), and the cache layer refuses to store such
+    #: results under the requested kernel's key.  ``None`` on re-hydrated
+    #: payloads that predate the field.
+    kernel: Optional[str] = None
 
     def describe(self) -> str:
         status = "routable" if self.success else "CONGESTED"
@@ -189,6 +198,7 @@ def route(
     objective: str = "wirelength",
     max_criticality: float = 0.95,
     criticality_exponent: float = 1.0,
+    deadline: Optional[Deadline] = None,
 ) -> RoutingResult:
     """Route all nets of a placed netlist on the device's RR graph.
 
@@ -221,6 +231,13 @@ def route(
     1.0 under any blend and the Manhattan lookahead stays admissible.
     ``max_criticality`` keeps every connection paying a slice of the
     congestion cost; ``criticality_exponent`` sharpens the blend.
+
+    ``deadline`` bounds the route's wall time: every kernel polls it at
+    PathFinder-iteration granularity (and inside long first iterations)
+    and raises :class:`~repro.util.resilience.DeadlineExceeded` when it
+    expires.  The check is a clock read per poll point -- it never changes
+    the search trajectory, so results under a generous deadline are
+    bit-identical to unbounded ones.
     """
     if kernel == "auto":
         kernel = (
@@ -235,14 +252,15 @@ def route(
             f"objective='timing' requires the astar or wavefront kernel, not {kernel!r}"
         )
     if kernel == "reference":
-        return _route_reference(
+        result = _route_reference(
             netlist, placement, device,
             max_iterations=max_iterations,
             pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
             pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+            deadline=deadline,
         )
-    if kernel == "astar":
-        return _route_astar(
+    elif kernel == "astar":
+        result = _route_astar(
             netlist, placement, device,
             max_iterations=max_iterations,
             pres_fac_init=1.0 if pres_fac_init is None else pres_fac_init,
@@ -250,9 +268,10 @@ def route(
             bbox_margin=bbox_margin, objective=objective,
             max_criticality=max_criticality,
             criticality_exponent=criticality_exponent,
+            deadline=deadline,
         )
-    if kernel == "wavefront":
-        return _route_wavefront(
+    elif kernel == "wavefront":
+        result = _route_wavefront(
             netlist, placement, device,
             max_iterations=max_iterations,
             pres_fac_init=3.0 if pres_fac_init is None else pres_fac_init,
@@ -260,15 +279,128 @@ def route(
             bbox_margin=bbox_margin, delta=delta, batch=batch,
             objective=objective, max_criticality=max_criticality,
             criticality_exponent=criticality_exponent,
+            deadline=deadline,
         )
-    if kernel != "fast":
+    elif kernel == "fast":
+        result = _route_fast(
+            netlist, placement, device,
+            max_iterations=max_iterations,
+            pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
+            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+            deadline=deadline,
+        )
+    else:
         raise ValueError(f"unknown routing kernel {kernel!r}")
-    return _route_fast(
-        netlist, placement, device,
-        max_iterations=max_iterations,
-        pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
-        pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
-    )
+    result.kernel = kernel
+    return result
+
+
+#: Kernel fallback order of :func:`route_resilient`: quality-first to
+#: cheapest.  A degraded attempt starts at the requested kernel's position
+#: and walks right; ``reference`` is a deliberate dead end (it exists to
+#: pin the baseline trajectory, degrading it would defeat the purpose).
+DEGRADATION_CHAIN: Tuple[str, ...] = ("wavefront", "astar", "fast")
+
+
+def route_resilient(
+    netlist: PhysicalNetlist,
+    placement: Placement,
+    device: Device,
+    max_iterations: int = 25,
+    kernel: str = "wavefront",
+    objective: str = "wirelength",
+    deadline_s: Optional[float] = None,
+    events: Optional[List[Dict[str, object]]] = None,
+    degrade: bool = True,
+    **route_kwargs,
+) -> RoutingResult:
+    """:func:`route` with a per-kernel deadline and a degradation chain.
+
+    Each attempt gets a fresh :class:`~repro.util.resilience.Deadline` of
+    ``deadline_s`` seconds.  When a kernel times out, crashes, or fails to
+    converge within ``max_iterations``, the next kernel in
+    :data:`DEGRADATION_CHAIN` (from the requested kernel's position) is
+    tried, and the switch is recorded as a ``degraded-kernel`` event in
+    ``events``.  The ``fast`` kernel cannot price timing costs, so a
+    timing-objective route that degrades to it also degrades the objective
+    to ``wirelength`` (recorded on the event).
+
+    On a fault-free run this is exactly one :func:`route` call -- same
+    arguments, same trajectory, bit-identical result -- so callers can
+    adopt it unconditionally.  ``degrade=False`` keeps the deadline and
+    event reporting but re-raises instead of walking the chain.
+
+    Raises the final attempt's error when every kernel in the chain fails
+    outright; returns the last non-converged result (``success=False``)
+    when kernels complete but congestion never resolves.
+    """
+    if kernel == "auto":
+        kernel = (
+            "wavefront"
+            if device.rr_graph.num_nodes >= WAVEFRONT_AUTO_MIN_NODES
+            else "astar"
+        )
+    if kernel in DEGRADATION_CHAIN and degrade:
+        chain = DEGRADATION_CHAIN[DEGRADATION_CHAIN.index(kernel):]
+    else:
+        chain = (kernel,)
+
+    last_result: Optional[RoutingResult] = None
+    last_error: Optional[BaseException] = None
+    for attempt, attempt_kernel in enumerate(chain):
+        eff_objective = objective
+        if objective == "timing" and attempt_kernel not in ("astar", "wavefront"):
+            eff_objective = "wirelength"
+        fault = inject("route.kernel")
+        try:
+            if fault == "timeout":
+                raise DeadlineExceeded(
+                    f"injected kernel timeout ({attempt_kernel})"
+                )
+            if fault is not None:
+                raise FaultInjected("route.kernel", kind=fault)
+            result = route(
+                netlist, placement, device,
+                max_iterations=max_iterations,
+                kernel=attempt_kernel,
+                objective=eff_objective,
+                deadline=Deadline(deadline_s),
+                **route_kwargs,
+            )
+        except DeadlineExceeded as exc:
+            record_event(events, "kernel-deadline", site="route.kernel",
+                         kernel=attempt_kernel, deadline_s=deadline_s,
+                         error=str(exc))
+            last_error = exc
+            continue
+        except (FaultInjected, RuntimeError) as exc:
+            record_event(events, "kernel-error", site="route.kernel",
+                         kernel=attempt_kernel,
+                         error=f"{type(exc).__name__}: {exc}")
+            last_error = exc
+            continue
+        if attempt > 0:
+            record_event(
+                events, "degraded-kernel", site="route.kernel",
+                requested=chain[0], kernel=attempt_kernel,
+                objective=eff_objective,
+                objective_degraded=eff_objective != objective,
+            )
+        if result.success:
+            return result
+        record_event(events, "kernel-nonconverged", site="route.kernel",
+                     kernel=attempt_kernel, iterations=result.iterations,
+                     overused_nodes=result.overused_nodes)
+        if last_result is None:
+            # Keep the *requested* kernel's non-converged result: when the
+            # whole chain fails to converge, the caller sees exactly what a
+            # plain route() would have returned, with the extra attempts
+            # visible only in the events.
+            last_result = result
+    if last_result is not None:
+        return last_result
+    assert last_error is not None
+    raise last_error
 
 
 def _route_astar(
@@ -284,6 +416,7 @@ def _route_astar(
     objective: str = "wirelength",
     max_criticality: float = 0.95,
     criticality_exponent: float = 1.0,
+    deadline: Optional[Deadline] = None,
 ) -> RoutingResult:
     """Directed incremental PathFinder over the pin-filtered search view."""
     rr = device.rr_graph
@@ -564,6 +697,8 @@ def _route_astar(
         conns: List[Tuple[int, List[int], int]],
     ) -> None:
         nonlocal generation
+        if deadline is not None:
+            deadline.check(f"astar net {net_id}")
         escalation = (net_bbox[net_id], full_bounds)
         for target in order:
             if target in tree_set:
@@ -668,6 +803,8 @@ def _route_astar(
     net_ids = [net.id for net in netlist.nets]
 
     for iteration in range(1, max_iterations + 1):
+        if deadline is not None:
+            deadline.check(f"astar iteration {iteration}")
         # Refresh the congestion cost vector for this iteration's pres_fac
         # and history (occupancy-driven entries are kept current by bump()).
         occ_arr = np.asarray(occupancy, dtype=np.int32)
@@ -731,6 +868,7 @@ def _route_wavefront(
     objective: str = "wirelength",
     max_criticality: float = 0.95,
     criticality_exponent: float = 1.0,
+    deadline: Optional[Deadline] = None,
 ) -> RoutingResult:
     """Vectorized delta-stepping PathFinder over the CSR search view.
 
@@ -1193,6 +1331,11 @@ def _route_wavefront(
             rounds_since_cleanup += 1
             if rounds_since_cleanup >= 4 or not act.any():
                 rounds_since_cleanup = 0
+                if deadline is not None:
+                    # Polled on the periodic cleanup rounds only: one clock
+                    # read every few vectorized expansion rounds, invisible
+                    # to the search trajectory.
+                    deadline.check("wavefront drive")
                 if p_flat.size:
                     live = (
                         (vis[p_flat] == s_gen[slots_p])
@@ -1407,6 +1550,8 @@ def _route_wavefront(
 
 
     for iteration in range(1, max_iterations + 1):
+        if deadline is not None:
+            deadline.check(f"wavefront iteration {iteration}")
         refresh_cost()
         if iteration == 1:
             # One global queue: waves stay full until the work runs out, and
@@ -1492,6 +1637,7 @@ def _route_fast(
     pres_fac_mult: float = 1.8,
     hist_fac: float = 0.4,
     astar_fac: float = 1.1,
+    deadline: Optional[Deadline] = None,
 ) -> RoutingResult:
     """PR 1 kernel: congestion cost vector, unpruned wavefront (baseline)."""
     rr = device.rr_graph
@@ -1541,6 +1687,8 @@ def _route_fast(
 
     def route_net(net_id: int) -> NetRoute:
         nonlocal generation
+        if deadline is not None:
+            deadline.check(f"fast net {net_id}")
         source, sinks = net_terms[net_id]
         tree: List[int] = [source]
         tree_set: Set[int] = {source}
@@ -1685,6 +1833,7 @@ def routing_to_payload(result: RoutingResult) -> Optional[Dict[str, object]]:
         "wirelength": result.wirelength,
         "overused_nodes": result.overused_nodes,
         "max_channel_occupancy": result.max_channel_occupancy,
+        "kernel": result.kernel,
         "forest": result.forest.to_payload(),
     }
 
@@ -1708,6 +1857,7 @@ def routing_from_payload(payload: Dict[str, object]) -> Optional[RoutingResult]:
             overused_nodes=int(payload["overused_nodes"]),
             max_channel_occupancy=int(payload["max_channel_occupancy"]),
             forest=forest,
+            kernel=payload.get("kernel"),
         )
     except (KeyError, TypeError, ValueError):
         return None
@@ -1722,6 +1872,7 @@ def _route_reference(
     pres_fac_mult: float = 1.8,
     hist_fac: float = 0.4,
     astar_fac: float = 1.1,
+    deadline: Optional[Deadline] = None,
 ) -> RoutingResult:
     """Original router: per-edge ``node_cost()`` calls (benchmark baseline)."""
     rr = device.rr_graph
@@ -1756,6 +1907,8 @@ def _route_reference(
 
     def route_net(net_id: int, pres_fac: float) -> NetRoute:
         nonlocal generation
+        if deadline is not None:
+            deadline.check(f"reference net {net_id}")
         source, sinks = net_terms[net_id]
         tree: List[int] = [source]
         tree_set: Set[int] = {source}

@@ -1,0 +1,38 @@
+"""Cross-cutting utilities shared by every layer of the tool flow.
+
+Currently hosts the resilience substrate (:mod:`repro.util.resilience`):
+deadlines, retry policies and the deterministic fault-injection registry
+that the PAR/flow layers and the chaos test-suite build on.
+"""
+
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    FaultInjected,
+    FaultPlan,
+    ResilienceError,
+    RetryPolicy,
+    active_plan,
+    clear,
+    count_events,
+    fault_plan,
+    inject,
+    install,
+    record_event,
+)
+
+__all__ = [
+    "active_plan",
+    "clear",
+    "count_events",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjected",
+    "FaultPlan",
+    "ResilienceError",
+    "RetryPolicy",
+    "fault_plan",
+    "inject",
+    "install",
+    "record_event",
+]
