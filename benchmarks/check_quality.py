@@ -4,8 +4,8 @@ Runs in the PR-time ``hotpath-bench`` job and in the nightly REPRO_FULL
 workflow (same gate, different benchmark scale).  Fails (exit 1) when the
 benchmark shows
 
-* routing non-convergence (the default ``wavefront`` kernel or the
-  ``astar`` kernel did not reach ``success``),
+* routing non-convergence (the ``astar`` kernel -- the ``auto`` default --
+  or the opt-in ``wavefront`` kernel did not reach ``success``),
 * a quality regression beyond 10% -- wavefront or astar wirelength vs the
   reference route, or batched-placement mean HPWL vs the incremental
   kernel,
@@ -26,8 +26,13 @@ benchmark shows
   from a plain ``route`` call, or logged recovery/degradation events with
   no fault injected (zero events is the fault-free contract, see
   RESILIENCE.md),
-* a missing or non-convergent ``auto_crossover`` section (the measured
-  astar/wavefront ratios back the ``kernel="auto"`` constant).
+* a missing or non-convergent ``auto_crossover`` section, or measured
+  astar/wavefront ratios that contradict the fixed ``kernel="auto"``
+  alias (``AUTO_KERNEL = "astar"``),
+* a native-backend failure: compiled astar routes or annealer trajectories
+  diverged from their Python twins (identity is the contract that keeps
+  the cached artifacts backend-independent), or a compiled kernel measured
+  *slower* than the Python twin it replaces.
 
 The thresholds here are looser than the in-benchmark ``ok`` flags on
 purpose: this gate is about catching real regressions, not about
@@ -185,11 +190,34 @@ def check(report: dict) -> list:
                 problems.append(
                     f"auto_crossover: non-convergent route at {p.get('num_nodes')} nodes"
                 )
-        if not crossover.get("auto_constant_consistent", False):
+        if not crossover.get("auto_kernel_consistent", False):
             problems.append(
-                "auto_crossover: WAVEFRONT_AUTO_MIN_NODES contradicts the "
-                "measured astar/wavefront ratios"
+                'auto_crossover: the fixed kernel="auto" alias contradicts the '
+                "measured astar/wavefront ratios (wavefront won somewhere)"
             )
+
+    native = kernels.get("native", {})
+    if not native:
+        problems.append("native: benchmark section missing")
+    elif native.get("available"):
+        for key, label in (
+            ("astar_identical", "astar routes"),
+            ("astar_timing_identical", "timing-objective astar routes"),
+            ("anneal_identical", "annealer trajectories"),
+        ):
+            if not native.get(key, False):
+                problems.append(
+                    f"native: {label} diverged between the C and Python backends"
+                )
+        for key, label in (("astar_speedup", "astar"), ("anneal_speedup", "annealer")):
+            speedup = native.get(key)
+            if speedup is None:
+                problems.append(f"native: {label} speedup missing")
+            elif speedup < 1.0:
+                problems.append(
+                    f"native: compiled {label} kernel measured slower than its "
+                    f"Python twin ({speedup:.2f}x)"
+                )
     return problems
 
 

@@ -224,6 +224,7 @@ class RouterSearchView:
         np.cumsum(np.bincount(rr.edge_dst, minlength=rr.num_nodes), out=self._rev_ptr[1:])
         self._entries: Dict[int, Dict[int, List[int]]] = {}
         self._entry_arrays: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._entry_csr: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     def _in_edges(self, node: int) -> List[int]:
         lo, hi = int(self._rev_ptr[node]), int(self._rev_ptr[node + 1])
@@ -262,6 +263,28 @@ class RouterSearchView:
             )
             self._entry_arrays[sink] = arrays
         return arrays
+
+    def entry_csr(self, sink: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Entry map of ``sink`` as a wire-sorted CSR for the native kernel.
+
+        ``(wires, ptr, ipins)``: ``wires`` is the sorted unique wire set, and
+        ``ipins[ptr[i]:ptr[i + 1]]`` lists that wire's feasible entry pins in
+        the same order as :meth:`entries_of` (the first-minimum tie-break of
+        the completion scan depends on that order).  Sorted wires let the C
+        kernel binary-search during expansion instead of hashing.
+        """
+        csr = self._entry_csr.get(sink)
+        if csr is None:
+            entry = self.entries_of(sink)
+            wires = np.asarray(sorted(entry), dtype=np.int64)
+            ptr = np.zeros(len(wires) + 1, dtype=np.int64)
+            ipins: List[int] = []
+            for i, wire in enumerate(wires.tolist()):
+                ipins.extend(entry[wire])
+                ptr[i + 1] = len(ipins)
+            csr = (wires, ptr, np.asarray(ipins, dtype=np.int64))
+            self._entry_csr[sink] = csr
+        return csr
 
 
 class _Builder:

@@ -1,0 +1,409 @@
+"""Native (compiled-C) twin of the ``astar`` routing kernel's search loop.
+
+The Python ``_route_astar`` kernel spends its time in the ``_search``
+closure: heap ops, CSR neighbor expansion, the admissible Manhattan +
+pin-floor lookahead, and the congestion/criticality cost blend.  This
+module compiles that exact loop to machine code (see
+:mod:`repro.native.build`) and binds it over the same flat arrays the
+Python kernel reads -- the search view's CSR adjacency, the per-iteration
+congestion cost vector, and per-search ``visited``/``cost_so_far``/
+``prev_node`` planes.
+
+Bit-identity contract
+---------------------
+
+The C kernel performs the *same IEEE-754 operations in the same order* as
+the Python twin (compiled with ``-ffp-contract=off -fno-fast-math`` so the
+compiler cannot fuse or re-associate them), and its heap pops replicate
+``heapq``'s order: every ``(f, g, node)`` key in flight is distinct (a
+re-push requires strictly improving ``g`` past the 1e-12 stale band), so
+the keys form a strict total order and any correct binary heap pops them
+in exactly the same sequence.  Seeds replicate the lazy sorted seed
+stream, the inline chase rule, and the entry-map completion with its
+strict ``<`` tie-breaks.  Routes, wirelengths, and iteration counts are
+therefore bit-identical to the Python kernel -- verified across the bench
+seeds by ``tests/test_native.py`` and gated in CI by
+``benchmarks/check_quality.py`` -- so ``ROUTE_ALGO_VERSION`` and every
+cached artifact stay valid.
+
+The backtrace happens in C too: the returned path buffer is the
+``(sink, ..., attach)`` node run the Python side merges into the route
+tree and appends to the net's :class:`~repro.par.forest._NetFragment`
+(fragments are emitted during routing now, not rebuilt per re-routed net
+at forest-build time).
+
+Not thread-safe: search scratch (heap, seed list) lives in static storage
+inside the shared object, mirroring the single-threaded Python kernel.
+Process-pool drivers get one copy per worker, which is the supported
+parallelism model.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Dict, Optional
+
+import numpy as np
+
+from .build import load_kernel
+
+__all__ = ["astar_kernel", "NativeAstar", "SOURCE"]
+
+SOURCE = r"""
+/* Native twin of repro.par.routing._route_astar's _search loop.
+ *
+ * Bit-identity rules: every float expression below copies the Python
+ * source's shape (left-to-right association, same literals, same 1e-12
+ * epsilons); compiled with -ffp-contract=off -fno-fast-math so no FMA
+ * fusion or re-association can change a single ULP.
+ */
+#include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
+
+/* ---- growable scratch, persistent across calls (single-threaded) ---- */
+
+static double  *heap_f = NULL;
+static double  *heap_g = NULL;
+static int64_t *heap_n = NULL;
+static int64_t  heap_cap = 0;
+static int64_t  heap_len = 0;
+
+typedef struct { double h; int64_t n; } seed_t;
+static seed_t  *seeds = NULL;
+static int64_t  seed_cap = 0;
+
+/* ---- state bound once per route call / per PathFinder iteration ---- */
+
+static const int64_t *g_csr_ptr;
+static const int32_t *g_csr_dst;
+static const int64_t *g_xs;
+static const int64_t *g_ys;
+static const int8_t  *g_type;
+static int64_t        g_ipin_t, g_sink_t;
+static const double  *g_cost;   /* congestion cost vector (per iteration) */
+static const double  *g_dly;    /* normalized delay vector (timing mode)  */
+static int64_t       *g_visited;
+static double        *g_csf;
+static int64_t       *g_prev;
+static int64_t       *g_tree_mark;
+static double         g_fac, g_pfb;
+
+void repro_astar_bind(const int64_t *csr_ptr, const int32_t *csr_dst,
+                      const int64_t *xs, const int64_t *ys,
+                      const int8_t *ntype, int64_t ipin_t, int64_t sink_t,
+                      int64_t *visited, double *csf, int64_t *prev,
+                      int64_t *tree_mark, double fac, double pin_floor)
+{
+    g_csr_ptr = csr_ptr; g_csr_dst = csr_dst;
+    g_xs = xs; g_ys = ys;
+    g_type = ntype; g_ipin_t = ipin_t; g_sink_t = sink_t;
+    g_visited = visited; g_csf = csf; g_prev = prev;
+    g_tree_mark = tree_mark;
+    g_fac = fac; g_pfb = pin_floor;
+}
+
+void repro_astar_costs(const double *cost, const double *dly)
+{
+    g_cost = cost; g_dly = dly;
+}
+
+/* ---- binary heap keyed on (f, g, n); all live keys are distinct ---- */
+
+static inline int lt3(double f1, double g1, int64_t n1,
+                      double f2, double g2, int64_t n2)
+{
+    if (f1 != f2) return f1 < f2;
+    if (g1 != g2) return g1 < g2;
+    return n1 < n2;
+}
+
+static void heap_push(double f, double g, int64_t n)
+{
+    if (heap_len == heap_cap) {
+        heap_cap = heap_cap ? heap_cap * 2 : 4096;
+        heap_f = (double *)realloc(heap_f, heap_cap * sizeof(double));
+        heap_g = (double *)realloc(heap_g, heap_cap * sizeof(double));
+        heap_n = (int64_t *)realloc(heap_n, heap_cap * sizeof(int64_t));
+    }
+    int64_t i = heap_len++;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (lt3(f, g, n, heap_f[p], heap_g[p], heap_n[p])) {
+            heap_f[i] = heap_f[p]; heap_g[i] = heap_g[p]; heap_n[i] = heap_n[p];
+            i = p;
+        } else break;
+    }
+    heap_f[i] = f; heap_g[i] = g; heap_n[i] = n;
+}
+
+static void heap_pop(double *f, double *g, int64_t *n)
+{
+    *f = heap_f[0]; *g = heap_g[0]; *n = heap_n[0];
+    heap_len--;
+    if (heap_len <= 0) return;
+    double lf = heap_f[heap_len], lg = heap_g[heap_len];
+    int64_t ln = heap_n[heap_len];
+    int64_t i = 0;
+    for (;;) {
+        int64_t c = 2 * i + 1;
+        if (c >= heap_len) break;
+        int64_t r = c + 1;
+        if (r < heap_len &&
+            lt3(heap_f[r], heap_g[r], heap_n[r],
+                heap_f[c], heap_g[c], heap_n[c]))
+            c = r;
+        if (lt3(heap_f[c], heap_g[c], heap_n[c], lf, lg, ln)) {
+            heap_f[i] = heap_f[c]; heap_g[i] = heap_g[c]; heap_n[i] = heap_n[c];
+            i = c;
+        } else break;
+    }
+    heap_f[i] = lf; heap_g[i] = lg; heap_n[i] = ln;
+}
+
+static int seed_cmp(const void *a, const void *b)
+{
+    const seed_t *x = (const seed_t *)a, *y = (const seed_t *)b;
+    if (x->h != y->h) return x->h < y->h ? -1 : 1;
+    return x->n < y->n ? -1 : (x->n > y->n ? 1 : 0);
+}
+
+/* ---- per-search completion through the target's entry CSR ---- */
+
+static int64_t        s_gen, s_target;
+static const int64_t *s_ew_wire, *s_ew_ptr, *s_ew_ipin;
+static int64_t        s_n_ew;
+static double         s_crt, s_omc, s_tcost;
+static double         s_best;
+
+static void complete(int64_t w, double g_w)
+{
+    /* binary search the sorted unique entry wires for w */
+    int64_t lo = 0, hi = s_n_ew;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (s_ew_wire[mid] < w) lo = mid + 1; else hi = mid;
+    }
+    if (lo >= s_n_ew || s_ew_wire[lo] != w) return;
+    int64_t a = s_ew_ptr[lo], b = s_ew_ptr[lo + 1];
+    int64_t ip;
+    double c;
+    if (s_crt != 0.0) {
+        ip = s_ew_ipin[a];
+        c = s_omc * g_cost[ip] + s_crt * g_dly[ip];
+        for (int64_t j = a + 1; j < b; j++) {
+            int64_t q = s_ew_ipin[j];
+            double cq = s_omc * g_cost[q] + s_crt * g_dly[q];
+            if (cq < c) { ip = q; c = cq; }
+        }
+    } else {
+        ip = s_ew_ipin[a];
+        c = g_cost[ip];
+        for (int64_t j = a + 1; j < b; j++) {
+            int64_t q = s_ew_ipin[j];
+            if (g_cost[q] < c) { ip = q; c = g_cost[q]; }
+        }
+    }
+    double total = g_w + c + s_tcost;
+    if (total < s_best - 1e-12) {
+        s_best = total;
+        g_visited[s_target] = s_gen;
+        g_csf[s_target] = total;
+        g_prev[s_target] = ip;
+        g_visited[ip] = s_gen;
+        g_csf[ip] = g_w + c;
+        g_prev[ip] = w;
+    }
+}
+
+/* One directed search from the route tree to `target`, plus backtrace.
+ * Returns the path length (>0, sink first; out_path[len] holds the attach
+ * node), 0 when the target is unreachable within the bounds, -1 on an
+ * out_path overflow (cannot happen with a num_nodes+1 buffer). */
+int64_t repro_astar_search(int64_t gen, const int64_t *tree, int64_t tree_len,
+                           int64_t target,
+                           const int64_t *ew_wire, const int64_t *ew_ptr,
+                           const int64_t *ew_ipin, int64_t n_ew,
+                           int64_t xlo, int64_t xhi, int64_t ylo, int64_t yhi,
+                           double crt, int64_t *out_path, int64_t out_cap)
+{
+    const int64_t *xs = g_xs, *ys = g_ys;
+    const double *cost = g_cost, *dly = g_dly;
+    int64_t *visited = g_visited, *prev = g_prev;
+    double *csf = g_csf;
+
+    double omc = 1.0 - crt;
+    double pf = (crt == 0.0) ? g_pfb : omc * g_pfb;
+    double fac = g_fac;
+    int64_t tx = xs[target], ty = ys[target];
+    double t_cost = cost[target];
+    if (crt != 0.0) t_cost = omc * t_cost + crt * dly[target];
+
+    s_gen = gen; s_target = target;
+    s_ew_wire = ew_wire; s_ew_ptr = ew_ptr; s_ew_ipin = ew_ipin; s_n_ew = n_ew;
+    s_crt = crt; s_omc = omc; s_tcost = t_cost;
+    s_best = HUGE_VAL;
+    heap_len = 0;
+
+    if (tree_len > seed_cap) {
+        seed_cap = tree_len * 2;
+        seeds = (seed_t *)realloc(seeds, seed_cap * sizeof(seed_t));
+    }
+    int64_t nseeds = 0;
+    for (int64_t i = 0; i < tree_len; i++) {
+        int64_t n = tree[i];
+        g_tree_mark[n] = gen;
+        int64_t tt = g_type[n];
+        if (tt == g_ipin_t || tt == g_sink_t) continue;
+        int64_t x = xs[n], y = ys[n];
+        if (x < xlo || x > xhi || y < ylo || y > yhi) continue;
+        int64_t dx = x - tx; if (dx < 0) dx = -dx;
+        int64_t dy = y - ty; if (dy < 0) dy = -dy;
+        if (dx + dy <= 1) complete(n, 0.0);
+        seeds[nseeds].h = (double)(dx + dy) * fac;
+        seeds[nseeds].n = n;
+        nseeds++;
+    }
+    qsort(seeds, nseeds, sizeof(seed_t), seed_cmp);
+
+    int64_t si = 0;
+    int found = 0;
+    for (;;) {
+        double f, g;
+        int64_t n;
+        if (si < nseeds && (heap_len == 0 || seeds[si].h <= heap_f[0])) {
+            f = seeds[si].h; n = seeds[si].n; si++;
+            g = 0.0;
+            visited[n] = gen; csf[n] = 0.0; prev[n] = -1;
+        } else if (heap_len) {
+            heap_pop(&f, &g, &n);
+            if (g > csf[n] + 1e-12) continue;  /* stale heap entry */
+        } else break;
+        for (;;) {
+            if (f >= s_best) { found = 1; goto backtrace; }
+            double chase_f = HUGE_VAL, chase_g = 0.0;
+            int64_t chase_m = -1;
+            int64_t e_end = g_csr_ptr[n + 1];
+            for (int64_t e = g_csr_ptr[n]; e < e_end; e++) {
+                int64_t m = g_csr_dst[e];
+                double cm = cost[m];
+                if (crt != 0.0) cm = omc * cm + crt * dly[m];
+                double new_cost = g + cm;
+                if (visited[m] == gen && new_cost >= csf[m] - 1e-12)
+                    continue;  /* already reached at least as cheaply */
+                int64_t x = xs[m];
+                if (x < xlo || x > xhi) continue;
+                int64_t y = ys[m];
+                if (y < ylo || y > yhi) continue;
+                int64_t dx = x - tx; if (dx < 0) dx = -dx;
+                int64_t dy = y - ty; if (dy < 0) dy = -dy;
+                int64_t d = dx + dy;
+                double f_m;
+                if (d <= 1) {
+                    visited[m] = gen; csf[m] = new_cost; prev[m] = n;
+                    complete(m, new_cost);
+                    f_m = new_cost + (double)d * fac;
+                    if (new_cost + (double)d + pf >= s_best || f_m >= s_best)
+                        continue;
+                } else {
+                    f_m = new_cost + (double)d * fac;
+                    if (f_m >= s_best || new_cost + (double)d + pf >= s_best)
+                        continue;  /* cannot beat the known completion */
+                    visited[m] = gen; csf[m] = new_cost; prev[m] = n;
+                }
+                if (f_m < chase_f) {
+                    if (chase_m >= 0) heap_push(chase_f, chase_g, chase_m);
+                    chase_f = f_m; chase_g = new_cost; chase_m = m;
+                } else {
+                    heap_push(f_m, new_cost, m);
+                }
+            }
+            if (chase_m < 0) break;
+            if ((heap_len && heap_f[0] < chase_f) ||
+                (si < nseeds && seeds[si].h < chase_f)) {
+                heap_push(chase_f, chase_g, chase_m);
+                break;
+            }
+            f = chase_f; g = chase_g; n = chase_m;
+        }
+    }
+    found = s_best < HUGE_VAL;
+
+backtrace:
+    if (!found) return 0;
+    int64_t np = 0;
+    int64_t node = target;
+    while (g_tree_mark[node] != gen) {
+        if (np >= out_cap - 1) return -1;
+        out_path[np++] = node;
+        node = g_prev[node];
+    }
+    out_path[np] = node;  /* attach */
+    return np;
+}
+"""
+
+_i64 = ctypes.c_int64
+_f64 = ctypes.c_double
+_p = ctypes.c_void_p
+
+
+class NativeAstar:
+    """ctypes binding of the compiled search over one route call's arrays."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+        self._bind = lib.repro_astar_bind
+        self._bind.argtypes = [_p, _p, _p, _p, _p, _i64, _i64, _p, _p, _p, _p,
+                               _f64, _f64]
+        self._bind.restype = None
+        self._costs = lib.repro_astar_costs
+        self._costs.argtypes = [_p, _p]
+        self._costs.restype = None
+        self._search = lib.repro_astar_search
+        self._search.argtypes = [_i64, _p, _i64, _i64, _p, _p, _p, _i64,
+                                 _i64, _i64, _i64, _i64, _f64, _p, _i64]
+        self._search.restype = _i64
+        #: bound-array refs: everything the C side holds raw pointers into
+        #: must stay alive for the duration of the route call.
+        self._refs: tuple = ()
+
+    def bind(self, csr_ptr, csr_dst, xs_arr, ys_arr, ntype, ipin_t, sink_t,
+             visited, csf, prev, tree_mark, fac, pin_floor) -> None:
+        self._refs = (csr_ptr, csr_dst, xs_arr, ys_arr, ntype,
+                      visited, csf, prev, tree_mark)
+        self._bind(csr_ptr.ctypes.data, csr_dst.ctypes.data,
+                   xs_arr.ctypes.data, ys_arr.ctypes.data,
+                   ntype.ctypes.data, ipin_t, sink_t,
+                   visited.ctypes.data, csf.ctypes.data, prev.ctypes.data,
+                   tree_mark.ctypes.data, fac, pin_floor)
+
+    def set_costs(self, cost: np.ndarray, dly: np.ndarray) -> None:
+        self._refs = self._refs + (cost, dly)
+        self._costs(cost.ctypes.data, dly.ctypes.data)
+
+    def search(self, gen: int, tree_arr: np.ndarray, target: int,
+               ew_wire: np.ndarray, ew_ptr: np.ndarray, ew_ipin: np.ndarray,
+               bounds, crt: float, out_path: np.ndarray) -> int:
+        xlo, xhi, ylo, yhi = bounds
+        return self._search(
+            gen, tree_arr.ctypes.data, len(tree_arr), target,
+            ew_wire.ctypes.data, ew_ptr.ctypes.data, ew_ipin.ctypes.data,
+            len(ew_wire), xlo, xhi, ylo, yhi, crt,
+            out_path.ctypes.data, len(out_path),
+        )
+
+
+_instances: Dict[int, NativeAstar] = {}
+
+
+def astar_kernel() -> Optional[NativeAstar]:
+    """The compiled astar search, or ``None`` when the backend is off."""
+    lib = load_kernel("astar", SOURCE)
+    if lib is None:
+        return None
+    inst = _instances.get(id(lib))
+    if inst is None:
+        inst = NativeAstar(lib)
+        _instances[id(lib)] = inst
+    return inst

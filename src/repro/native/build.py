@@ -1,0 +1,215 @@
+"""Compile-at-first-use build cache for the native C kernels.
+
+The container ships gcc but none of the Python compilation toolchains
+(Cython/numba/mypyc), so the native backend goes through the system
+compiler directly: each kernel is a small, dependency-free C source string
+compiled with ``cc -O2 -shared`` into a shared object the first time it is
+requested, then loaded with :mod:`ctypes` over the router's and placer's
+existing flat arrays.
+
+Build artifacts are *content-addressed*: the object file name carries a
+SHA-256 digest of the C source, the compiler flags, and the compiler's
+version banner, so editing a kernel, changing flags, or upgrading the
+toolchain each miss cleanly to a fresh compile while identical builds are
+reused across processes.  The cache directory defaults to a per-user
+directory under the system temp dir and can be pinned with
+``REPRO_NATIVE_CACHE``.
+
+Every failure mode degrades to the pure-Python kernels (which remain the
+semantic reference -- the native kernels are bit-identical twins, see
+``tests/test_native.py``):
+
+* ``REPRO_NATIVE=0`` (or ``false``/``off``/``no``) disables the backend;
+* no C compiler on ``PATH`` (``cc``/``gcc``/``clang``) disables it;
+* a failed compile or unloadable object warns once and disables that
+  kernel for the process;
+* the ``native.compile`` :func:`~repro.util.resilience.inject` fault point
+  simulates a toolchain failure, so the resilience harness can exercise
+  the fallback without uninstalling the compiler.
+
+Bit-identity note: the kernels are compiled with ``-ffp-contract=off``
+``-fno-fast-math`` so the compiler cannot fuse ``a * b + c`` into an FMA
+or re-associate float expressions -- the C kernels must perform *exactly*
+the IEEE-754 operations of their Python twins, in the same order.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple
+
+from ..util.resilience import inject
+
+__all__ = [
+    "CFLAGS",
+    "native_enabled",
+    "find_compiler",
+    "cache_dir",
+    "load_kernel",
+    "reset",
+    "build_status",
+]
+
+#: ``-fno-fast-math -ffp-contract=off`` are load-bearing: they pin the
+#: kernels to the exact IEEE-754 operation sequence of the Python twins
+#: (no FMA fusion, no re-association), which is what keeps native routes
+#: and placements bit-identical and every cached artifact valid.
+CFLAGS: Tuple[str, ...] = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off")
+
+_libs: Dict[Tuple[str, str], ctypes.CDLL] = {}
+_failed: Set[Tuple[str, str]] = set()
+_cc_versions: Dict[str, str] = {}
+_last_error: Optional[str] = None
+
+
+def native_enabled() -> bool:
+    """``REPRO_NATIVE`` gate, read per call so tests/benchmarks can toggle it."""
+    return os.environ.get("REPRO_NATIVE", "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the first usable C compiler on PATH, or ``None``."""
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def cache_dir() -> Path:
+    """Build-cache directory (``REPRO_NATIVE_CACHE`` or a per-user temp dir)."""
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    uid = getattr(os, "getuid", lambda: 0)()
+    return Path(tempfile.gettempdir()) / f"repro-native-{uid}"
+
+
+def _compiler_version(cc: str) -> str:
+    version = _cc_versions.get(cc)
+    if version is None:
+        out = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, check=True
+        )
+        version = out.stdout.splitlines()[0] if out.stdout else "unknown"
+        _cc_versions[cc] = version
+    return version
+
+
+def source_digest(source: str, cc_version: str) -> str:
+    """Content address of one kernel build: source + flags + compiler."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update("\x00".join(CFLAGS).encode())
+    h.update(cc_version.encode())
+    return h.hexdigest()
+
+
+def _compile(cc: str, name: str, source: str, so_path: Path) -> None:
+    """Compile ``source`` into ``so_path`` atomically (temp file + rename)."""
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    tag = f"{name}-{os.getpid()}"
+    c_path = so_path.parent / f".{tag}.c"
+    tmp_so = so_path.parent / f".{tag}.so.tmp"
+    try:
+        c_path.write_text(source)
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", str(tmp_so), str(c_path), "-lm"],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{cc} exited {proc.returncode}: {proc.stderr.strip()[:500]}"
+            )
+        # Last-write-wins like PaRCache: concurrent builders of the same
+        # digest produce identical bytes, so the race is benign.
+        os.replace(tmp_so, so_path)
+    finally:
+        for p in (c_path, tmp_so):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+
+def load_kernel(name: str, source: str) -> Optional[ctypes.CDLL]:
+    """Load (compiling if needed) one named kernel; ``None`` means fall back.
+
+    Returns ``None`` -- and the caller must use its Python twin -- when the
+    backend is disabled, no compiler exists, the ``native.compile`` fault
+    point fires, or the build fails (warns once per kernel).
+    """
+    global _last_error
+    if not native_enabled():
+        return None
+    if inject("native.compile") is not None:
+        _last_error = f"{name}: injected native.compile fault"
+        return None
+    cc = find_compiler()
+    if cc is None:
+        _last_error = "no C compiler on PATH"
+        return None
+    try:
+        version = _compiler_version(cc)
+    except (OSError, subprocess.SubprocessError) as exc:
+        _last_error = f"{cc} --version failed: {exc}"
+        return None
+    digest = source_digest(source, version)
+    key = (name, digest)
+    lib = _libs.get(key)
+    if lib is not None:
+        return lib
+    if key in _failed:
+        return None
+    so_path = cache_dir() / f"{name}-{digest[:16]}.so"
+    try:
+        if not so_path.exists():
+            _compile(cc, name, source, so_path)
+        try:
+            lib = ctypes.CDLL(str(so_path))
+        except OSError:
+            # A stale or truncated cache entry (e.g. a crashed writer on an
+            # older runtime): rebuild once before giving up.
+            so_path.unlink(missing_ok=True)
+            _compile(cc, name, source, so_path)
+            lib = ctypes.CDLL(str(so_path))
+    except Exception as exc:  # noqa: BLE001 - any toolchain failure falls back
+        _failed.add(key)
+        _last_error = f"{name}: {exc}"
+        warnings.warn(
+            f"native kernel {name!r} failed to build ({exc}); "
+            "falling back to the Python kernel",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    _libs[key] = lib
+    return lib
+
+
+def reset() -> None:
+    """Drop the in-process kernel memo (testing hook; disk cache untouched)."""
+    _libs.clear()
+    _failed.clear()
+
+
+def build_status() -> Dict[str, object]:
+    """Introspection for benchmarks/tests: gate, compiler, cache, last error."""
+    cc = find_compiler()
+    return {
+        "enabled": native_enabled(),
+        "compiler": cc,
+        "compiler_version": _cc_versions.get(cc) if cc else None,
+        "cache_dir": str(cache_dir()),
+        "loaded": sorted({name for name, _ in _libs}),
+        "last_error": _last_error,
+    }

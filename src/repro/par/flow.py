@@ -49,7 +49,7 @@ from .metrics import MinChannelWidthResult, minimum_channel_width
 from .netlist import PhysicalNetlist, from_mapped_network
 from .placement import Placement, PlacementResult, TimingCost, place
 from .routing import (
-    WAVEFRONT_AUTO_MIN_NODES,
+    AUTO_KERNEL,
     RoutingResult,
     route_resilient,
     routing_from_payload,
@@ -132,7 +132,7 @@ def cached_route(
     device: Device,
     cache: Optional[PaRCache] = None,
     max_iterations: int = 25,
-    kernel: str = "wavefront",
+    kernel: str = "auto",
     objective: str = "wirelength",
     criticality_exponent: float = 1.0,
     deadline_s: Optional[float] = None,
@@ -154,18 +154,15 @@ def cached_route(
     entry or a bad forest payload falls back to a fresh route
     (``cache-fallback``); the route itself runs under
     :func:`~repro.par.routing.route_resilient` with a ``deadline_s``
-    per-kernel budget and the wavefront->astar->fast degradation chain.
+    per-kernel budget and the astar->fast degradation chain (wavefront
+    only enters the chain when explicitly requested).
     A result produced by a *degraded* kernel is never stored under the
     requested kernel's key, so one bad run cannot poison the cache for
     fault-free reruns.
     """
     resolved = kernel
     if resolved == "auto":
-        resolved = (
-            "wavefront"
-            if device.rr_graph.num_nodes >= WAVEFRONT_AUTO_MIN_NODES
-            else "astar"
-        )
+        resolved = AUTO_KERNEL
     key = None
     if cache is not None and kernel not in ("fast", "reference"):
         key = PaRCache.route_key(
@@ -220,7 +217,7 @@ def place_and_route(
     min_cw_bounds: tuple = (2, 32),
     seed: int = 0,
     placement_kernel: Optional[str] = None,
-    route_kernel: str = "wavefront",
+    route_kernel: str = "auto",
     min_cw_route_kernel: str = "auto",
     workers: Optional[int] = None,
     cache: Optional[PaRCache] = None,
@@ -276,7 +273,7 @@ def place_and_route(
     crashed pool worker in the min-channel-width search resubmits its
     probes serially, and ``route_deadline_s`` bounds each routing kernel's
     wall time with automatic degradation down the
-    wavefront->astar->fast chain.  Every recovery taken is recorded in
+    astar->fast chain.  Every recovery taken is recorded in
     :attr:`PaRResult.events`; a fault-free run has an empty list and is
     bit-identical to the pre-resilience flow.
     """

@@ -353,31 +353,44 @@ class _NetFragment:
         return self
 
 
+def _append_conn(
+    f: _NetFragment, pos_of: Dict[int, int], target: int, path, attach: int
+) -> None:
+    """Append one ``(target, path, attach)`` connection to a live fragment.
+
+    The astar router calls this during backtrace-merge, so fragments are
+    *emitted while routing* instead of rebuilt per re-routed net at forest
+    build / re-time; ``pos_of`` is the net's node -> local-position map
+    (``{source: -1}`` on a fresh tree).  Must not be called after
+    :meth:`_NetFragment.freeze`.
+    """
+    node_l = f.node
+    depth_l = f.depth
+    f.conn_sink.append(target)
+    if not path:
+        # Duplicate sink: the target node is already in the tree.
+        f.conn_sink_pos.append(pos_of[target])
+        f.conn_end.append(len(node_l))
+        return
+    ap = pos_of[attach]
+    rp = path[::-1]  # attach-to-sink order (router backtraces sink-first)
+    base = len(node_l)
+    node_l += rp
+    f.parent.append(ap)
+    f.parent += range(base, base + len(rp) - 1)
+    d0 = depth_l[ap] + 1 if ap >= 0 else 1
+    depth_l += range(d0, d0 + len(rp))
+    pos_of.update(zip(rp, range(base, base + len(rp))))
+    f.conn_sink_pos.append(base + len(rp) - 1)
+    f.conn_end.append(len(node_l))
+
+
 def _fragment_from_conns(source: int, conns) -> _NetFragment:
     """Fragment from the directed kernels' ``(target, path, attach)`` list."""
     f = _NetFragment(source)
-    node_l = f.node
-    parent_l = f.parent
-    depth_l = f.depth
     pos_of: Dict[int, int] = {source: -1}
     for target, path, attach in conns:
-        f.conn_sink.append(target)
-        if not path:
-            # Duplicate sink: the target node is already in the tree.
-            f.conn_sink_pos.append(pos_of[target])
-            f.conn_end.append(len(node_l))
-            continue
-        ap = pos_of[attach]
-        rp = path[::-1]  # attach-to-sink order (router backtraces sink-first)
-        base = len(node_l)
-        node_l += rp
-        parent_l.append(ap)
-        parent_l += range(base, base + len(rp) - 1)
-        d0 = depth_l[ap] + 1 if ap >= 0 else 1
-        depth_l += range(d0, d0 + len(rp))
-        pos_of.update(zip(rp, range(base, base + len(rp))))
-        f.conn_sink_pos.append(base + len(rp) - 1)
-        f.conn_end.append(len(node_l))
+        _append_conn(f, pos_of, target, path, attach)
     return f.freeze()
 
 

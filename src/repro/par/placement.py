@@ -21,7 +21,11 @@ Three annealing kernels live behind :func:`place`:
   HPWL across seeds is asserted within 2% of the incremental kernel (see
   ``tests/test_par.py`` and ``benchmarks/bench_hotpaths.py``).  This kernel
   also accepts per-net weights (``net_weights``), the seam the timing-driven
-  flow uses to pull criticality-weighted nets shorter.
+  flow uses to pull criticality-weighted nets shorter.  When the native
+  backend is available (see :mod:`repro.native`) the move loop runs as
+  compiled C over the same flat arrays and PCG64 stream -- trajectories are
+  bit-identical to the Python loop, so results and caches are
+  backend-independent.
 * ``kernel="reference"`` -- the original implementation that recomputes every
   affected net's HPWL from its full pin list; kept as the baseline for the
   hot-path benchmark and for equivalence tests.
@@ -42,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fpga.architecture import FPGAArchitecture, Site
+from ..native.annealer import ISTATE, ISTATE_LEN, annealer_kernel
 from .netlist import PhysicalNetlist
 
 __all__ = [
@@ -557,6 +562,17 @@ def _quantize_weights(net_weights: Sequence[float], num_nets: int) -> List[int]:
     return q
 
 
+def _csr_i64(lists: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten a list-of-lists into ``(ptr, flat)`` int64 CSR arrays."""
+    ptr = np.zeros(len(lists) + 1, dtype=np.int64)
+    for i, lst in enumerate(lists):
+        ptr[i + 1] = ptr[i] + len(lst)
+    flat = np.fromiter(
+        (v for lst in lists for v in lst), dtype=np.int64, count=int(ptr[-1])
+    )
+    return ptr, flat
+
+
 def _place_batched(
     netlist: PhysicalNetlist,
     arch: FPGAArchitecture,
@@ -586,6 +602,11 @@ def _place_batched(
     blocks' connections -- O(pins moved), exactly like the bbox updates --
     and the integer criticality weights ``w_c`` are re-timed in place every
     ``retime_every`` accepted moves.
+
+    When :func:`repro.native.annealer.annealer_kernel` returns a compiled
+    kernel, the per-move loop runs in C over the same flat state (see the
+    native block below); otherwise the pure-Python loop runs.  Both follow
+    the identical trajectory for a given seed.
     """
     gen = np.random.Generator(np.random.PCG64(seed))
     placement = random_placement(netlist, arch, seed=seed)
@@ -725,9 +746,13 @@ def _place_batched(
 
     RBUF = 1 << 14
     IMAX = 1 << 63
-    ibuf = gen.integers(0, IMAX, size=RBUF, dtype=np.int64).tolist()
+    # Draw the initial buffers as arrays (shared with the native kernel when
+    # it is available); the Python loop consumes them as plain lists.
+    ibuf_arr = gen.integers(0, IMAX, size=RBUF, dtype=np.int64)
+    ibuf = ibuf_arr.tolist()
     ipos = 0
-    ubuf = gen.random(RBUF).tolist()
+    ubuf_arr = gen.random(RBUF)
+    ubuf = ubuf_arr.tolist()
     upos = 0
 
     def _bbox_after_move(
@@ -784,7 +809,142 @@ def _place_batched(
         return (xmin, xmax, ymin, ymax,
                 xs.count(xmin), xs.count(xmax), ys.count(ymin), ys.count(ymax))
 
-    while temperature_steps < 200:
+    # -- native (compiled-C) move loop -----------------------------------
+    # Bit-identical twin of the Python while-loop below (see
+    # repro.native.annealer): the C loop consumes the same PCG64 draw
+    # buffers -- calling back out to refill them at the Python kernel's
+    # exact refill points -- keeps every cost an exact int64, and runs the
+    # Metropolis test through the same libm exp, so trajectories match
+    # move for move.  Cooling, range-limit adaptation, re-timing, and the
+    # exit tests stay here in Python.
+    nat = annealer_kernel()
+    if nat is not None:
+        block_gsite_a = np.asarray(block_gsite, dtype=np.int64)
+        block_x_a = np.asarray(block_x, dtype=np.int64)
+        block_y_a = np.asarray(block_y, dtype=np.int64)
+        occupant_a = np.asarray(
+            [-1 if o is None else o for o in occupant], dtype=np.int64
+        )
+        pins_ptr, pins_flat = _csr_i64(net_pins)
+        nb_ptr, nb_flat = _csr_i64(nets_of_block)
+        dummy = np.zeros(1, dtype=np.int64)
+        g0b = np.asarray(groups[0][0], dtype=np.int64)
+        g0s = np.asarray(groups[0][1], dtype=np.int64)
+        if num_groups > 1:
+            g1b = np.asarray(groups[1][0], dtype=np.int64)
+            g1s = np.asarray(groups[1][1], dtype=np.int64)
+        else:
+            g1b = g1s = dummy
+        if timing is not None:
+            t_src_a = np.asarray(t_src, dtype=np.int64)
+            t_dst_a = np.asarray(t_dst, dtype=np.int64)
+            cb_ptr, cb_flat = _csr_i64(conns_of_block)
+            c_dist_a = np.asarray(c_dist, dtype=np.int64)
+            cwq_a = np.asarray(cwq, dtype=np.int64)
+        else:
+            t_src_a = t_dst_a = cb_flat = c_dist_a = cwq_a = dummy
+            cb_ptr = np.zeros(num_block_ids + 1, dtype=np.int64)
+        istate = np.zeros(ISTATE_LEN, dtype=np.int64)
+        _S = ISTATE
+        istate[_S["total_cost"]] = total_cost
+        istate[_S["timing_cost"]] = timing_cost
+        nat_exc: List[BaseException] = []
+
+        def _refill(kind: int) -> None:
+            # Runs under repro_anneal_run; exceptions cannot cross the C
+            # frame, so stash + abort, then re-raise once the call returns.
+            try:
+                if kind == 0:
+                    ibuf_arr[:] = gen.integers(
+                        0, IMAX, size=RBUF, dtype=np.int64
+                    )
+                elif kind == 1:
+                    ubuf_arr[:] = gen.random(RBUF)
+                else:  # retime: refresh the integer criticality weights
+                    crit = np.asarray(
+                        timing.criticality(
+                            block_x_a.tolist(), block_y_a.tolist()
+                        ),
+                        dtype=np.float64,
+                    )
+                    if crit.shape != (nconn,):
+                        raise ValueError(
+                            f"timing criticality returned {crit.shape},"
+                            f" expected ({nconn},)"
+                        )
+                    cwq_a[:] = np.rint(
+                        _WEIGHT_QUANTUM * timing.tradeoff * crit
+                    ).astype(np.int64)
+            except BaseException as e:  # noqa: BLE001 -- re-raised below
+                nat_exc.append(e)
+                istate[_S["abort"]] = 1
+
+        nat.bind(
+            {
+                "block_gsite": block_gsite_a, "block_x": block_x_a,
+                "block_y": block_y_a, "occupant": occupant_a,
+                "site_x": np.asarray(site_x, dtype=np.int64),
+                "site_y": np.asarray(site_y, dtype=np.int64),
+                "pins_ptr": pins_ptr, "pins": pins_flat,
+                "nb_ptr": nb_ptr, "nb": nb_flat,
+                "bb": np.array(bb, dtype=np.int64).reshape(num_nets * 8),
+                "net_cost": np.asarray(net_cost, dtype=np.int64),
+                "wq": np.asarray(wq, dtype=np.int64),
+                "gblocks0": g0b, "gsites0": g0s,
+                "gblocks1": g1b, "gsites1": g1s,
+                "ibuf": ibuf_arr, "ubuf": ubuf_arr,
+                "t_src": t_src_a, "t_dst": t_dst_a,
+                "cb_ptr": cb_ptr, "cb_conns": cb_flat,
+                "c_dist": c_dist_a, "cwq": cwq_a,
+                "net_mark": np.zeros(num_nets, dtype=np.int64),
+                "upd_nid": np.zeros(num_nets + 1, dtype=np.int64),
+                "upd_bb": np.zeros(8 * (num_nets + 1), dtype=np.int64),
+                "upd_cost": np.zeros(num_nets + 1, dtype=np.int64),
+                "tsc_ci": np.zeros(nconn + 1, dtype=np.int64),
+                "tsc_nd": np.zeros(nconn + 1, dtype=np.int64),
+                "istate": istate,
+            },
+            {
+                "nblk0": groups[0][2], "nsit0": groups[0][3],
+                "nblk1": groups[1][2] if num_groups > 1 else 1,
+                "nsit1": groups[1][3] if num_groups > 1 else 1,
+                "num_groups": num_groups,
+                "logic_group": int(logic_group),
+                "width": width, "height": height, "rbuf": RBUF,
+                "has_timing": int(timing is not None),
+                "nconn": nconn, "retime_every": retime_every,
+            },
+            _refill,
+        )
+        while temperature_steps < 200:
+            istate[_S["accepted_this_temp"]] = 0
+            range2 = range_limit * 2
+            rl = int(range_limit)
+            if rl < 1:
+                rl = 1
+            span = 2 * rl + 1
+            nat.run_temperature(
+                moves_per_temp, max(temperature, 1e-9), range2, rl, span
+            )
+            if nat_exc:
+                raise nat_exc[0]
+            total_cost = int(istate[_S["total_cost"]])
+            timing_cost = int(istate[_S["timing_cost"]])
+            temperature_steps += 1
+            acceptance = int(istate[_S["accepted_this_temp"]]) / max(
+                1, moves_per_temp
+            )
+            temperature = _cool(temperature, acceptance)
+            range_limit = _next_range_limit(range_limit, acceptance, device_span)
+            if temperature < 0.005 * (total_cost + timing_cost) / max(
+                1, len(netlist.nets)
+            ) or (acceptance < 0.01 and temperature_steps > 5):
+                break
+        moves_attempted = int(istate[_S["attempted"]])
+        moves_accepted = int(istate[_S["accepted"]])
+        block_gsite = block_gsite_a.tolist()
+
+    while nat is None and temperature_steps < 200:
         accepted_this_temp = 0
         range2 = range_limit * 2
         # Window half-span for the O(1) logic-site pick below.

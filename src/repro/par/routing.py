@@ -5,12 +5,28 @@ routing-resource graph with an A*-guided Dijkstra search; congestion is
 resolved by iteratively re-routing nets through overused nodes while the
 present-congestion penalty grows and a history cost accumulates (PathFinder).
 
-Four search kernels live behind :func:`route` (plus ``kernel="auto"``,
-which picks between the directed kernels by RR-graph size, and the opt-in
+Four search kernels live behind :func:`route` (plus ``kernel="auto"``, the
+default, which resolves to :data:`AUTO_KERNEL` -- ``astar``, measured
+fastest at every reachable graph size -- and the opt-in
 ``objective="timing"`` that blends STA criticalities into the directed
 kernels' costs -- see :func:`route`):
 
-* ``kernel="wavefront"`` (default) -- vectorized delta-stepping PathFinder.
+* ``kernel="astar"`` (the ``auto`` default) -- scalar directed search over
+  the pin-filtered search view.  The wavefront expands over
+  SOURCE/OPIN/CHANX/CHANY nodes only; input pins and sinks are reached
+  through precomputed per-sink *entry maps* instead of being flooded,
+  every expansion is pruned to the net's terminal bounding box (with a
+  full-graph retry on the rare in-box failure), and the heap is keyed on
+  ``cost + lookahead`` where the lookahead is the admissible Manhattan
+  bound built from the precomputed RR-node coordinates.  Re-routing is
+  incremental at *connection* granularity: after the first iteration only
+  the congested connections of congested nets (plus the branches that hang
+  off them) are ripped up and re-routed; untouched branches keep their
+  paths across iterations.  The expansion loop runs as compiled C when the
+  native backend is available (:mod:`repro.native.astar`, bit-identical
+  routes) and as the pure-Python twin otherwise.
+* ``kernel="wavefront"`` (opt-in baseline) -- vectorized delta-stepping
+  PathFinder.
   Connection searches run *batched* on a continuous slot pipeline: up to
   ``batch`` nets expand one wavefront each, simultaneously, over flat
   per-slot label planes indexed ``slot * num_nodes + node``, and a slot
@@ -23,17 +39,6 @@ kernels' costs -- see :func:`route`):
   ``delta`` of each search's bucket (``cost + lookahead``).  Net-bbox
   pruning, the pin-floor bound and connection-level incremental rip-up
   carry over from the ``astar`` kernel by masking the CSR view.
-* ``kernel="astar"`` -- scalar directed search over the same pin-filtered
-  view.  The wavefront expands over SOURCE/OPIN/CHANX/CHANY nodes only;
-  input pins and sinks are reached through precomputed per-sink *entry
-  maps* instead of being flooded, every expansion is pruned to the net's
-  terminal bounding box (with a full-graph retry on the rare in-box
-  failure), and the heap is keyed on ``cost + lookahead`` where the
-  lookahead is the admissible Manhattan bound built from the precomputed
-  RR-node coordinates.  Re-routing is incremental at *connection*
-  granularity: after the first iteration only the congested connections of
-  congested nets (plus the branches that hang off them) are ripped up and
-  re-routed; untouched branches keep their paths across iterations.
 * ``kernel="fast"`` -- the PR 1 kernel: same congestion cost vector and
   incremental re-routing, but the wavefront floods pins and is not
   bbox-pruned.  Identical floating-point trajectory to ``reference``.
@@ -58,8 +63,9 @@ import numpy as np
 
 from ..fpga.device import Device
 from ..fpga.routing_graph import RR_BASE_COST, RRGraph, RRNodeType
+from ..native.astar import astar_kernel
 from ..util.resilience import Deadline, DeadlineExceeded, FaultInjected, inject, record_event
-from .forest import RouteForest, build_route_forest
+from .forest import RouteForest, _NetFragment, _append_conn, build_route_forest
 from .netlist import PhysicalNetlist
 from .placement import Placement
 
@@ -137,18 +143,17 @@ _BASE_COST = RR_BASE_COST
 #: costs, while the delay share of a pin can be arbitrarily small.
 _PIN_FLOOR = _BASE_COST[RRNodeType.IPIN] + _BASE_COST[RRNodeType.SINK]
 
-#: ``kernel="auto"`` crossover: the vectorized wavefront kernel's NumPy
-#: round dispatch (~100 us/round) only amortizes once searches carry enough
-#: simultaneous labels.  Below this node count ``auto`` resolves to
-#: ``astar``; at and above it, to ``wavefront``.  PR 4 guessed 120k; PR 5
-#: *measured* it (``bench_hotpaths.py`` ``auto_crossover``: tiled bench-PE
-#: workloads routed by both kernels) and found NO crossover in the
-#: reachable range -- the scalar astar kernel stays ~3-4x faster from 42k
-#: through 203k RR nodes, with the time ratio nearly flat in graph size.
-#: The constant therefore sits above every graph this toolchain currently
-#: builds, so ``auto`` means astar everywhere until a compiled/GPU
-#: wavefront inner loop changes the slope (see ROADMAP).
-WAVEFRONT_AUTO_MIN_NODES = 1_000_000
+#: What ``kernel="auto"`` resolves to.  The question "does the vectorized
+#: wavefront kernel ever win?" was settled by measurement, twice: PR 5's
+#: ``auto_crossover`` bench found the scalar astar kernel ~3-4x faster at
+#: every reachable graph size (52k-203k RR nodes, wavefront at 0.18-0.31x),
+#: and PR 7 re-ran the sweep with the *native* astar expansion loop, which
+#: widened the gap by another large factor (``BENCH_hotpaths.json``
+#: ``kernels.auto_crossover`` / ``kernels.native``).  There is no crossover
+#: to encode -- the former ``WAVEFRONT_AUTO_MIN_NODES = 1M`` sentinel is
+#: retired and ``auto`` simply means astar; ``wavefront`` remains available
+#: as an opt-in vectorized baseline.
+AUTO_KERNEL = "astar"
 
 
 def terminal_rr_nodes(
@@ -191,7 +196,7 @@ def route(
     pres_fac_mult: float = 1.8,
     hist_fac: float = 0.4,
     astar_fac: float = 1.1,
-    kernel: str = "wavefront",
+    kernel: str = "auto",
     bbox_margin: int = 3,
     delta: float = 6.0,
     batch: int = 8,
@@ -202,12 +207,15 @@ def route(
 ) -> RoutingResult:
     """Route all nets of a placed netlist on the device's RR graph.
 
-    ``kernel`` selects the wavefront implementation (see module docstring);
-    ``kernel="auto"`` resolves to ``astar`` below
-    :data:`WAVEFRONT_AUTO_MIN_NODES` RR nodes and ``wavefront`` at or above
-    it.  ``fast`` and ``reference`` return identical routes; ``astar`` and
-    ``wavefront`` (the default) are the re-baselined directed kernels of
-    equivalent route quality.  ``bbox_margin`` is the expansion margin of
+    ``kernel`` selects the search implementation (see module docstring);
+    ``kernel="auto"`` (the default) resolves to :data:`AUTO_KERNEL` --
+    ``astar``, measured fastest at every reachable graph size; the astar
+    expansion loop itself runs as compiled C when the native backend is
+    available (:mod:`repro.native`, bit-identical routes) and as the pure
+    Python twin otherwise.  ``fast`` and ``reference`` return identical
+    routes; ``astar`` and the opt-in vectorized ``wavefront`` are the
+    re-baselined directed kernels of equivalent route quality.
+    ``bbox_margin`` is the expansion margin of
     the per-net search bounding box used by the ``astar``/``wavefront``
     kernels.  ``delta`` is the wavefront kernel's bucket width: every
     pending label within ``delta`` of a search's bucket expands in the same
@@ -240,11 +248,7 @@ def route(
     bit-identical to unbounded ones.
     """
     if kernel == "auto":
-        kernel = (
-            "wavefront"
-            if device.rr_graph.num_nodes >= WAVEFRONT_AUTO_MIN_NODES
-            else "astar"
-        )
+        kernel = AUTO_KERNEL
     if objective not in ("wirelength", "timing"):
         raise ValueError(f"unknown routing objective {objective!r}")
     if objective == "timing" and kernel not in ("astar", "wavefront"):
@@ -307,7 +311,7 @@ def route_resilient(
     placement: Placement,
     device: Device,
     max_iterations: int = 25,
-    kernel: str = "wavefront",
+    kernel: str = "auto",
     objective: str = "wirelength",
     deadline_s: Optional[float] = None,
     events: Optional[List[Dict[str, object]]] = None,
@@ -335,11 +339,7 @@ def route_resilient(
     when kernels complete but congestion never resolves.
     """
     if kernel == "auto":
-        kernel = (
-            "wavefront"
-            if device.rr_graph.num_nodes >= WAVEFRONT_AUTO_MIN_NODES
-            else "astar"
-        )
+        kernel = AUTO_KERNEL
     if kernel in DEGRADATION_CHAIN and degrade:
         chain = DEGRADATION_CHAIN[DEGRADATION_CHAIN.index(kernel):]
     else:
@@ -387,6 +387,13 @@ def route_resilient(
                 objective_degraded=eff_objective != objective,
             )
         if result.success:
+            if result.forest is None:
+                # The fast/reference baselines skip the forest build so
+                # their benchmark timings stay honest; the resilient path
+                # is not timed against them, and downstream consumers
+                # (STA, cached-route serialization) expect every converged
+                # resilient result to carry one.
+                result.forest = build_route_forest(result.routes, device.rr_graph)
             return result
         record_event(events, "kernel-nonconverged", site="route.kernel",
                      kernel=attempt_kernel, iterations=result.iterations,
@@ -444,13 +451,13 @@ def _route_astar(
         )
         conn_crit = tracker.initial_flat()
         cid_of = tracker.conn_index
-        delay_l: List[float] = (
-            view.delay_ns / device.arch.wire_hop_delay_ns
-        ).tolist()
+        delay_arr: np.ndarray = view.delay_ns / device.arch.wire_hop_delay_ns
+        delay_l: List[float] = delay_arr.tolist()
     else:
         tracker = None
         conn_crit = None
         cid_of = {}
+        delay_arr = np.zeros(0, dtype=np.float64)
         delay_l = []
 
     xs, ys = view.xs, view.ys
@@ -477,9 +484,6 @@ def _route_astar(
         )
     full_bounds = (-(1 << 30), 1 << 30, -(1 << 30), 1 << 30)
 
-    visited_gen = [0] * num_nodes
-    cost_so_far = [0.0] * num_nodes
-    prev_node = [-1] * num_nodes
     generation = 0
 
     IPIN = RRNodeType.IPIN
@@ -488,6 +492,34 @@ def _route_astar(
     CHANY = RRNodeType.CHANY
     heappush = heapq.heappush
     heappop = heapq.heappop
+
+    # Native backend: the compiled expansion loop reads the search view's
+    # CSR directly and keeps the per-search visited/cost/prev planes in
+    # int64/float64 arrays it shares with this function.  It is a
+    # bit-identical twin of the _search closure below (same routes, same
+    # trajectories -- see repro.native.astar), so which backend ran is
+    # unobservable in the result.  None -> pure-Python kernels.
+    nat = astar_kernel()
+    if nat is not None:
+        visited_gen: List[int] = []     # unused; the arrays below replace them
+        cost_so_far: List[float] = []
+        prev_node: List[int] = []
+        nat_visited = np.zeros(num_nodes, dtype=np.int64)
+        nat_csf = np.zeros(num_nodes, dtype=np.float64)
+        nat_prev = np.full(num_nodes, -1, dtype=np.int64)
+        nat_tree_mark = np.zeros(num_nodes, dtype=np.int64)
+        nat_out = np.empty(num_nodes + 1, dtype=np.int64)
+        nat_ntype = np.ascontiguousarray(rr.node_type, dtype=np.int8)
+        nat.bind(
+            view.csr_ptr, view.csr_dst, view.xs_arr, view.ys_arr, nat_ntype,
+            int(IPIN), int(SINK), nat_visited, nat_csf, nat_prev,
+            nat_tree_mark, astar_fac, _PIN_FLOOR,
+        )
+        entry_csr = view.entry_csr
+    else:
+        visited_gen = [0] * num_nodes
+        cost_so_far = [0.0] * num_nodes
+        prev_node = [-1] * num_nodes
 
     bh: List[float] = []
     cost: List[float] = []
@@ -689,6 +721,19 @@ def _route_astar(
     # net pins on one block) is recorded as ``(target, [], target)``.
     net_conns: Dict[int, List[Tuple[int, List[int], int]]] = {}
 
+    # Live per-net forest fragments, emitted connection-by-connection as the
+    # router backtraces (native and Python paths alike): the flat forest and
+    # the re-time loop never rebuild a fragment from a net's connection list
+    # again -- _sync_frags below just freezes what routing already wrote.
+    frag_of: Dict[int, _NetFragment] = {}
+    frag_pos: Dict[int, Dict[int, int]] = {}
+
+    def _sync_frags(cache: Dict) -> None:
+        for nid, r in routes.items():
+            entry = cache.get(nid)
+            if entry is None or entry[0] is not r:
+                cache[nid] = (r, frag_of[nid].freeze())
+
     def _route_connections(
         net_id: int,
         order: List[int],
@@ -699,11 +744,14 @@ def _route_astar(
         nonlocal generation
         if deadline is not None:
             deadline.check(f"astar net {net_id}")
+        frag = frag_of[net_id]
+        pos_of = frag_pos[net_id]
         escalation = (net_bbox[net_id], full_bounds)
         for target in order:
             if target in tree_set:
                 bump(target, 1)
                 conns.append((target, [], target))
+                _append_conn(frag, pos_of, target, [], target)
                 continue
             if timing_mode:
                 cid = cid_of.get((net_id, target))
@@ -713,29 +761,53 @@ def _route_astar(
             # A too-tight box can starve a congested net of detour room;
             # escalate to the net terminal box and then the whole device
             # before giving up.
-            found = False
-            for box in escalation:
-                generation += 1
-                if _search(target, tree, generation, box, astar_fac, crt):
-                    found = True
-                    break
-            if not found:
-                raise RuntimeError(
-                    f"net {net_id} could not reach its sink; the device is too "
-                    "small or the channel width is insufficient even with "
-                    "congestion allowed"
-                )
-            # Backtrace and merge the new path into the route tree.
-            path = []
-            n = target
-            while n not in tree_set:
-                path.append(n)
-                n = prev_node[n]
+            if nat is not None:
+                ew_wire, ew_ptr, ew_ipin = entry_csr(target)
+                tree_arr = np.asarray(tree, dtype=np.int64)
+                npath = 0
+                for box in escalation:
+                    generation += 1
+                    npath = nat.search(
+                        generation, tree_arr, target,
+                        ew_wire, ew_ptr, ew_ipin, box, crt, nat_out,
+                    )
+                    if npath > 0:
+                        break
+                if npath <= 0:
+                    raise RuntimeError(
+                        f"net {net_id} could not reach its sink; the device is too "
+                        "small or the channel width is insufficient even with "
+                        "congestion allowed"
+                    )
+                # The compiled kernel backtraced already: nat_out holds the
+                # new path sink-first and the tree node it attaches to.
+                path = nat_out[:npath].tolist()
+                n = int(nat_out[npath])
+            else:
+                found = False
+                for box in escalation:
+                    generation += 1
+                    if _search(target, tree, generation, box, astar_fac, crt):
+                        found = True
+                        break
+                if not found:
+                    raise RuntimeError(
+                        f"net {net_id} could not reach its sink; the device is too "
+                        "small or the channel width is insufficient even with "
+                        "congestion allowed"
+                    )
+                # Backtrace and merge the new path into the route tree.
+                path = []
+                n = target
+                while n not in tree_set:
+                    path.append(n)
+                    n = prev_node[n]
             for p in path:
                 tree_set.add(p)
                 tree.append(p)
                 bump(p, 1)
             conns.append((target, path, n))
+            _append_conn(frag, pos_of, target, path, n)
 
     def _net_route_of(net_id: int) -> NetRoute:
         conns = net_conns[net_id]
@@ -753,6 +825,8 @@ def _route_astar(
         order = sorted(sinks, key=lambda t: -(abs(xs[t] - sx) + abs(ys[t] - sy)))
         conns: List[Tuple[int, List[int], int]] = []
         net_conns[net_id] = conns
+        frag_of[net_id] = _NetFragment(source)
+        frag_pos[net_id] = {source: -1}
         _route_connections(net_id, order, tree, tree_set, conns)
         routes[net_id] = _net_route_of(net_id)
 
@@ -791,6 +865,14 @@ def _route_astar(
             for n in path:
                 tree.append(n)
                 tree_set.add(n)
+        # Restart the net's live fragment from the kept connections; the
+        # re-routed ones are appended by _route_connections as they land.
+        frag = _NetFragment(source)
+        pos_of: Dict[int, int] = {source: -1}
+        for target, path, attach in kept:
+            _append_conn(frag, pos_of, target, path, attach)
+        frag_of[net_id] = frag
+        frag_pos[net_id] = pos_of
         new_conns: List[Tuple[int, List[int], int]] = []
         _route_connections(
             net_id, [c[0] for c in ripped], tree, tree_set, new_conns
@@ -812,7 +894,13 @@ def _route_astar(
         over_arr = occ_arr + 1 - cap_arr
         cost_arr = np.where(over_arr > 0, base_hist * (1.0 + pres_fac * over_arr), base_hist)
         bh = base_hist.tolist()
-        cost = cost_arr.tolist()
+        if nat is not None:
+            # bump() writes through this array, so the compiled kernel sees
+            # the live congestion costs -- the same bits the list twin holds.
+            cost = cost_arr
+            nat.set_costs(cost_arr, delay_arr if timing_mode else cost_arr)
+        else:
+            cost = cost_arr.tolist()
 
         if iteration == 1:
             for nid in net_ids:
@@ -834,19 +922,22 @@ def _route_astar(
         pres_fac *= pres_fac_mult
         if timing_mode:
             # Re-time the current route trees on the flat forest: the next
-            # iteration's re-routes price against fresh criticalities.
+            # iteration's re-routes price against fresh criticalities.  The
+            # fragments were emitted during backtrace; freezing them into
+            # the tracker's cache means update_flat re-flattens nothing.
+            _sync_frags(tracker._frag_cache)
             conn_crit = tracker.update_flat(routes)
 
     occ_arr = np.asarray(occupancy, dtype=np.int32)
     # Emit the flat forest for converged routes only: a congested result's
     # trees are about to be thrown away (min-channel-width probes below
     # the minimum fail by construction), so flattening them is pure waste.
-    # In timing mode the tracker's per-iteration updates already flattened
-    # every net; reuse its fragment cache so the final build re-flattens
-    # nothing.
+    # The fragments were emitted during backtrace (native and Python paths
+    # alike); the build below only concatenates them.
     forest = None
     if success:
-        frag_cache = tracker._frag_cache if tracker is not None else None
+        frag_cache = tracker._frag_cache if tracker is not None else {}
+        _sync_frags(frag_cache)
         forest = build_route_forest(routes, rr, cache=frag_cache)
     return _assemble_result(
         rr, routes, occ_arr, cap_arr, success, iteration, forest=forest,

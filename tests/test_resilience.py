@@ -346,15 +346,15 @@ class TestCachedRouteResilience:
             degraded = cached_route(
                 netlist, placement, device, cache=cache, events=events
             )
-            assert degraded.kernel == "astar"
+            assert degraded.kernel == "fast"
             assert count_events(events, "degraded-kernel") == 1
         # The fault-free rerun must route fresh (no poisoned hit) and match
-        # the wavefront baseline exactly.
+        # the astar (auto default) baseline exactly.
         events2 = []
         clean = cached_route(netlist, placement, device, cache=cache, events=events2)
-        assert clean.kernel == "wavefront"
+        assert clean.kernel == "astar"
         assert count_events(events2, "degraded-kernel") == 0
-        baseline = route(netlist, placement, device, kernel="wavefront")
+        baseline = route(netlist, placement, device, kernel="astar")
         assert clean.wirelength == baseline.wirelength
         assert {n: r.nodes for n, r in clean.routes.items()} == {
             n: r.nodes for n, r in baseline.routes.items()
