@@ -59,7 +59,15 @@ Three comparisons are made:
   annealer move loop; see ``src/repro/native/``) vs their pure-Python
   twins, warm, same seeds.  Bit-identity of routes and annealing
   trajectories is asserted and gated -- the native backend must be a pure
-  accelerator, never a different algorithm.
+  accelerator, never a different algorithm;
+* **reconfig** -- the PR 8 multi-context scheduler (``src/repro/reconfig``;
+  see RECONFIGURATION.md): a seeded synthetic context library over the
+  bench grid's configuration layout is replayed against a Zipf-skewed
+  request trace under a 30% residency budget, and *every* switch's
+  diff-applied active plane is checked bit-identical to a full
+  reconfiguration of the target -- the identity ``check_quality.py`` gates
+  -- alongside contexts/sec, amortized switch cost, hit rate and the
+  full-vs-diff frame savings.
 """
 
 from __future__ import annotations
@@ -123,6 +131,9 @@ CROSSOVER_TILES = [1, 2] if not FULL_MODE else [1, 2, 4]
 CROSSOVER_CHANNEL_WIDTH = 18  #: roomy enough that every tiling converges fast
 NATIVE_ASTAR_SPEEDUP_FLOOR = 3.0   #: recorded native-vs-python astar target (issue 7)
 NATIVE_ANNEAL_SPEEDUP_FLOOR = 5.0  #: recorded native-vs-python move-loop target (22.8x measured)
+RECONFIG_CONTEXTS = 24       #: synthetic contexts in the scheduler bench
+RECONFIG_TRACE_LENGTH = 2000  #: requests replayed against the scheduler
+RECONFIG_BUDGET_FRACTION = 0.3  #: context-memory budget / library footprint
 
 
 def _build_workload():
@@ -890,6 +901,94 @@ def bench_native(netlist, arch, placement, width):
     }
 
 
+def bench_reconfig(arch):
+    """Multi-context scheduler: diff-switch identity + serving throughput.
+
+    A seeded synthetic library over the bench grid's configuration layout
+    (a shared base configuration, each context re-programming a random
+    quarter of the logic tiles -- the structure micro-reconfiguration
+    exploits) is replayed against a Zipf-skewed trace under a
+    ``RECONFIG_BUDGET_FRACTION`` residency budget.  The gated invariant is
+    bit-identity: after *every* diff switch the active plane must equal the
+    target's full frame image.  Throughput numbers (contexts/sec, amortized
+    switch cost) come from the modelled MiCAP frame costs; the scheduler's
+    own Python overhead is recorded as wall time per request.
+    """
+    from repro.fpga.bitstream import Bitstream
+    from repro.reconfig import (
+        ContextLibrary,
+        ReconfigScheduler,
+        popularity_weights,
+        replay,
+        synthetic_trace,
+    )
+
+    device = build_device(arch)
+    layout = device.config_layout
+    clbs = [
+        (x, y)
+        for x in range(arch.width)
+        for y in range(arch.height)
+        if arch.contains_clb(x, y)
+    ]
+    rng = np.random.Generator(np.random.PCG64(2024))
+    lut_mask = (1 << layout.lut_bits) - 1
+    base = {site: int(rng.integers(1, lut_mask + 1)) for site in clbs}
+
+    library = ContextLibrary(layout)
+    weights = popularity_weights(RECONFIG_CONTEXTS, skew=1.2)
+    for i in range(RECONFIG_CONTEXTS):
+        bitstream = Bitstream(layout)
+        for (x, y), bits in base.items():
+            bitstream.set_lut_config(x, y, bits)
+        for idx in rng.choice(len(clbs), size=max(1, len(clbs) // 4), replace=False):
+            x, y = clbs[int(idx)]
+            bitstream.set_lut_config(x, y, int(rng.integers(1, lut_mask + 1)))
+        library.add_bitstream(f"ctx{i}", bitstream, criticality=float(weights[i]))
+
+    total = library.total_frames()
+    budget = max(1, int(total * RECONFIG_BUDGET_FRACTION))
+    trace = synthetic_trace(
+        library.names(), RECONFIG_TRACE_LENGTH, seed=1, skew=1.2, repeat=0.25
+    )
+
+    # Identity pass: every diff-applied switch must land bit-identical to a
+    # full reconfiguration of the target.  This is the gated claim.
+    scheduler = ReconfigScheduler(library, budget_frames=budget)
+    diff_identical = all(
+        scheduler.switch_to(name) is not None
+        and scheduler.active_image == library[name].image
+        for name in trace
+    )
+
+    report, wall_s = _timed(
+        lambda: replay(ReconfigScheduler(library, budget_frames=budget), trace),
+        repeats=3,
+    )
+
+    return {
+        "workload": (
+            f"{RECONFIG_CONTEXTS} contexts x {total} frames on "
+            f"{arch.width}x{arch.height} ({len(clbs)} logic tiles), "
+            f"{RECONFIG_TRACE_LENGTH}-request Zipf trace, budget {budget} frames"
+        ),
+        "num_contexts": RECONFIG_CONTEXTS,
+        "library_frames": total,
+        "budget_frames": budget,
+        "requests": report.requests,
+        "hit_rate": report.hit_rate,
+        "contexts_per_sec": report.contexts_per_sec,
+        "amortized_switch_ms": report.amortized_switch_ms,
+        "frame_savings": report.frame_savings,
+        "evictions": report.evictions,
+        "rejected_admissions": report.rejected_admissions,
+        "scheduler_wall_seconds": wall_s,
+        "wall_us_per_request": wall_s / report.requests * 1e6,
+        "diff_identical": diff_identical,
+        "ok": diff_identical and report.hit_rate > 0.0 and report.frame_savings > 0.0,
+    }
+
+
 def main() -> int:
     circuit, network, netlist, arch = _build_workload()
 
@@ -911,6 +1010,8 @@ def main() -> int:
     crossover_result = bench_auto_crossover(netlist)
     print("benchmarking native kernels ...")
     native_result = bench_native(netlist, arch, placement, width)
+    print("benchmarking multi-context reconfiguration ...")
+    reconfig_result = bench_reconfig(arch)
 
     report = {
         "config": {
@@ -932,6 +1033,7 @@ def main() -> int:
             "resilience": resilience_result,
             "auto_crossover": crossover_result,
             "native": native_result,
+            "reconfig": reconfig_result,
         },
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -1001,6 +1103,15 @@ def main() -> int:
                     f"({entry['anneal_speedup']:.2f}x); identical="
                     f"{entry['astar_identical'] and entry['anneal_identical']}"
                 )
+        elif name == "reconfig":
+            print(
+                f"{name:11s} {flag} {entry['contexts_per_sec']:6.0f} ctx/s "
+                f"({entry['amortized_switch_ms']:.3f}ms/switch modelled, "
+                f"{entry['wall_us_per_request']:.0f}us/req wall), "
+                f"hit_rate={entry['hit_rate']:.2f} "
+                f"frame_savings={entry['frame_savings']:.2f} "
+                f"identical={entry['diff_identical']}"
+            )
         elif name == "placement":
             b = entry["batched"]
             print(

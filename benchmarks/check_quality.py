@@ -32,7 +32,12 @@ benchmark shows
 * a native-backend failure: compiled astar routes or annealer trajectories
   diverged from their Python twins (identity is the contract that keeps
   the cached artifacts backend-independent), or a compiled kernel measured
-  *slower* than the Python twin it replaces.
+  *slower* than the Python twin it replaces,
+* a reconfiguration-scheduler failure: a diff-applied context switch that
+  is not bit-identical to a full reconfiguration of the target (the
+  ``repro.reconfig`` invariant, see RECONFIGURATION.md), a missing
+  section, or a skewed-trace replay with no residency hits or no frame
+  savings at all (the scheduler stopped buying anything).
 
 The thresholds here are looser than the in-benchmark ``ok`` flags on
 purpose: this gate is about catching real regressions, not about
@@ -218,6 +223,26 @@ def check(report: dict) -> list:
                     f"native: compiled {label} kernel measured slower than its "
                     f"Python twin ({speedup:.2f}x)"
                 )
+
+    reconfig = kernels.get("reconfig", {})
+    if not reconfig:
+        problems.append("reconfig: benchmark section missing")
+    else:
+        if not reconfig.get("diff_identical", False):
+            problems.append(
+                "reconfig: a diff-applied context switch is not bit-identical "
+                "to a full reconfiguration of the target"
+            )
+        if not reconfig.get("hit_rate", 0.0) > 0.0:
+            problems.append(
+                "reconfig: zero residency hits on the skewed trace (the "
+                "context memory stopped buying anything)"
+            )
+        if not reconfig.get("frame_savings", 0.0) > 0.0:
+            problems.append(
+                "reconfig: diff switches saved no frames over full "
+                "reconfigurations on the skewed trace"
+            )
     return problems
 
 

@@ -27,7 +27,13 @@ from ..techmap.mapping import MappedNetwork
 from ..techmap.tconmap import map_parameterized
 from .pe import ProcessingElementSpec, build_pe_design
 
-__all__ = ["PEFlowResult", "FlowComparison", "run_pe_flow", "compare_pe_flows"]
+__all__ = [
+    "PEFlowResult",
+    "FlowComparison",
+    "run_pe_flow",
+    "compare_pe_flows",
+    "build_context_library",
+]
 
 
 @dataclass
@@ -143,8 +149,9 @@ def run_pe_flow(
     ``objective="timing"`` runs criticality-driven placement and routing
     (see :func:`repro.par.flow.place_and_route`).  ``route_deadline_s``
     bounds each routing kernel's wall time; a kernel that exceeds it
-    degrades down the wavefront->astar->fast chain with the switch
-    recorded in the result's events.
+    degrades down the chain from its own position (astar->fast for the
+    ``auto`` default; wavefront heads the chain only when explicitly
+    requested) with the switch recorded in the result's events.
     """
     elapsed: Dict[str, float] = {}
 
@@ -230,3 +237,95 @@ def compare_pe_flows(
         objective=objective,
     )
     return FlowComparison(conventional=conventional, parameterized=parameterized)
+
+
+def build_context_library(
+    circuits: Dict[str, Circuit],
+    parameterized: bool = True,
+    arch: Optional[FPGAArchitecture] = None,
+    channel_width: int = 10,
+    placement_effort: float = 0.5,
+    router_iterations: int = 20,
+    seed: int = 0,
+    objective: str = "wirelength",
+    cache=None,
+    popularity: Optional[Dict[str, float]] = None,
+):
+    """Compile named circuits into a multi-context library on one shared grid.
+
+    This is the build driver of the reconfiguration scheduler
+    (:mod:`repro.reconfig`, see RECONFIGURATION.md): every circuit runs the
+    full flow (synthesis -> mapping -> TPaR) against the *same*
+    architecture -- auto-sized for the largest member unless ``arch`` is
+    given -- so their configurations share one frame space and frame-level
+    diffs between any two contexts are meaningful.
+
+    The route of each context is served through
+    :func:`repro.par.flow.cached_route` when ``cache`` (or
+    ``REPRO_PAR_CACHE``) is set: a warm cache re-hydrates the routed
+    forests from disk and the whole library builds without routing
+    anything (assert with ``cache.stats()`` -- one hit per context).
+
+    ``popularity`` (name -> weight) sets each context's admission
+    criticality; unnamed contexts default to 0.  Each context's metadata
+    records its routed ``critical_path_ns`` and ``wirelength``.
+
+    Returns a :class:`repro.reconfig.context.ContextLibrary` whose contexts
+    are registered in ``circuits`` iteration order (= popularity order for
+    :func:`repro.reconfig.trace.synthetic_trace`).
+    """
+    # Imported here: repro.reconfig depends on repro.core.reconfiguration,
+    # and a module-level import would make that a package-import cycle.
+    from ..reconfig.context import ContextLibrary, render_context_bitstream
+
+    if not circuits:
+        raise ValueError("context library needs at least one circuit")
+    popularity = popularity or {}
+
+    networks: Dict[str, MappedNetwork] = {}
+    for name, circuit in circuits.items():
+        synth = synthesize(circuit)
+        networks[name] = (
+            map_parameterized(synth.circuit) if parameterized else map_conventional(synth.circuit)
+        )
+
+    if arch is None:
+        from ..fpga.architecture import auto_size
+        from ..par.netlist import from_mapped_network
+
+        max_logic = max_ios = 0
+        for network in networks.values():
+            netlist = from_mapped_network(network)
+            max_logic = max(max_logic, netlist.num_logic_blocks() + netlist.num_ff_blocks())
+            max_ios = max(max_ios, netlist.num_io_blocks())
+        arch = auto_size(max_logic, max_ios, channel_width=channel_width)
+
+    library: Optional[ContextLibrary] = None
+    for name, network in networks.items():
+        par = place_and_route(
+            network,
+            arch=arch,
+            channel_width=channel_width,
+            placement_effort=placement_effort,
+            router_iterations=router_iterations,
+            seed=seed,
+            cache=cache,
+            objective=objective,
+        )
+        if not par.routing.success:
+            raise RuntimeError(
+                f"context {name!r} did not route on the shared "
+                f"{arch.width}x{arch.height} grid at W={arch.channel_width}"
+            )
+        if library is None:
+            library = ContextLibrary(par.device.config_layout)
+        library.add_bitstream(
+            name,
+            render_context_bitstream(par),
+            criticality=popularity.get(name, 0.0),
+            metadata={
+                "critical_path_ns": par.timing.critical_path_ns,
+                "wirelength": float(par.wirelength),
+            },
+        )
+    return library

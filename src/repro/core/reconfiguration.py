@@ -41,7 +41,15 @@ class ReconfigurationInterface:
 
     @property
     def frame_rmw_us(self) -> float:
+        """Full read-modify-write cost of one frame through the port."""
         return self.frame_read_us + self.frame_modify_us + self.frame_write_us
+
+    @property
+    def frame_restore_us(self) -> float:
+        """Write-only cost of one frame whose specialized content is already
+        staged in context memory (a resident partial configuration): the
+        read and modify legs of the RMW cycle are skipped."""
+        return self.frame_write_us
 
 
 #: HWICAP: the slow, standard Xilinx configuration access port driver.
@@ -81,9 +89,29 @@ class ReconfigurationCostModel:
     # -- measured mode (uses actual frame counts from a placed design) ----------------
 
     def time_from_frames_ms(self, frames_touched: int, boolean_functions: int = 0) -> float:
+        """Reconfiguration time from an actual frame count (placed design)."""
         micro = frames_touched * self.interface.frame_rmw_us
         eval_time = boolean_functions * self.interface.eval_us_per_function
         return (micro + eval_time) / 1000.0
+
+    # -- multi-context switching (frame-level delta encoding) --------------------------
+
+    def diff_switch_time_ms(self, frames_changed: int, resident: bool = False) -> float:
+        """Cost of a context switch that writes only the *changed* frames.
+
+        ``resident=True`` models a switch to a partial configuration that is
+        already staged in context memory (see
+        :class:`repro.reconfig.scheduler.ReconfigScheduler`): each changed
+        frame is a plain write (:attr:`ReconfigurationInterface.frame_restore_us`).
+        A non-resident switch streams every changed frame through the full
+        read-modify-write cycle of the configuration port, the same cost a
+        full reconfiguration pays per frame -- the saving of a cold diff
+        switch is purely the smaller frame count.
+        """
+        per_frame = (
+            self.interface.frame_restore_us if resident else self.interface.frame_rmw_us
+        )
+        return frames_changed * per_frame / 1000.0
 
     # -- application-level amortization -----------------------------------------------
 

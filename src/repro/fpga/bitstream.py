@@ -161,3 +161,44 @@ class Bitstream:
     def diff_frames(self, other: "Bitstream") -> Set[int]:
         """Configuration frames that must be rewritten to go from ``other`` to ``self``."""
         return self.layout.frames_for_tiles(self.diff_tiles(other))
+
+    def frame_image(self) -> Dict[int, int]:
+        """Render the configuration into concrete frame contents.
+
+        Returns a mapping ``frame id -> frame bits`` holding every *nonzero*
+        frame of the device's configuration memory; absent frames are
+        all-zero by definition, so two images are bit-identical iff the
+        dicts are equal.  Each tile's bits are packed at its
+        :meth:`~ConfigurationLayout.tile_bit_offset` inside its column --
+        LUT truth table first, then the flip-flop init bit, then the
+        routing bits -- and the column bit string is sliced into
+        ``frame_bits``-sized frames, exactly the geometry
+        :meth:`ConfigurationLayout.frames_for_tile` describes.
+
+        This is the ground truth the frame-level delta encoding of
+        :mod:`repro.reconfig.frames` diffs and patches: a frame whose
+        content is equal between two configurations never needs to be
+        written, even when :meth:`diff_frames` (which is geometric, not
+        content-aware) would conservatively include it.
+        """
+        layout = self.layout
+        ff_shift = layout.lut_bits + layout.ff_bits
+        columns: Dict[int, int] = {}
+        for (x, y) in self.configured_tiles():
+            tile_val = self.lut_configs.get((x, y), 0) | (
+                self.routing_configs.get((x, y), 0) << ff_shift
+            )
+            if tile_val:
+                columns[x] = columns.get(x, 0) | (tile_val << self.layout.tile_bit_offset(x, y))
+        mask = (1 << layout.frame_bits) - 1
+        image: Dict[int, int] = {}
+        for x, column in columns.items():
+            base = (x - 1) * layout.frames_per_column
+            index = 0
+            while column:
+                word = column & mask
+                if word:
+                    image[base + index] = word
+                column >>= layout.frame_bits
+                index += 1
+        return image

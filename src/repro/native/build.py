@@ -27,10 +27,26 @@ semantic reference -- the native kernels are bit-identical twins, see
   simulates a toolchain failure, so the resilience harness can exercise
   the fallback without uninstalling the compiler.
 
-Bit-identity note: the kernels are compiled with ``-ffp-contract=off``
-``-fno-fast-math`` so the compiler cannot fuse ``a * b + c`` into an FMA
-or re-associate float expressions -- the C kernels must perform *exactly*
-the IEEE-754 operations of their Python twins, in the same order.
+Invariants:
+
+* **The native backend is an accelerator, never a different algorithm.**
+  A compiled kernel must be a bit-identical twin of its Python reference
+  (same routes, same placements, same exact-int costs and counters) --
+  this is what keeps every cached artifact backend-neutral
+  (``ROUTE_ALGO_VERSION``/``PLACE_ALGO_VERSION`` carry no backend tag)
+  and is gated by ``tests/test_native.py`` and the benchmark.  To that
+  end kernels are compiled with ``-ffp-contract=off -fno-fast-math`` so
+  the compiler cannot fuse ``a * b + c`` into an FMA or re-associate
+  float expressions: the C side performs *exactly* the IEEE-754
+  operations of the Python twin, in the same order.
+* **Availability is never required.**  Any call that could need a
+  compile must have a pure-Python fallback; ``status()`` reports, it
+  never raises.  Disabling the backend (env, missing compiler, failed
+  build, injected fault) changes wall time only.
+* **The artifact cache cannot serve a stale kernel.**  The digest covers
+  source, flags and compiler banner, so any change that could alter
+  codegen misses to a fresh compile; a deleted or truncated ``.so`` is
+  rebuilt, not trusted.
 """
 
 from __future__ import annotations

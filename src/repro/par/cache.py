@@ -19,6 +19,25 @@ The cache is opt-in: pass a :class:`PaRCache` (or a directory path) to the
 entry points in :mod:`repro.par.metrics` / :mod:`repro.par.flow`, or set the
 ``REPRO_PAR_CACHE`` environment variable to a directory to enable it
 globally (``PaRCache.from_env()``).
+
+Invariants:
+
+* **A hit reproduces a fresh compute bit-for-bit.**  Keys fingerprint
+  every semantic input plus ``ROUTE_ALGO_VERSION`` / ``PLACE_ALGO_VERSION``;
+  any kernel change that alters a trajectory must bump its version so old
+  entries read as misses, never as wrong answers.  Degraded results
+  (kernel fallbacks, see :func:`repro.par.routing.route_resilient`) are
+  never written, so one faulty run cannot poison fault-free reruns.
+* **Artifacts are backend-neutral.**  Values are plain JSON metrics plus
+  serialized route forests -- never pickled code, never a record of which
+  (native or Python) backend produced them; caches are interchangeable
+  across ``REPRO_NATIVE`` settings.
+* **The cache can only make runs faster or equal, never incorrect.**
+  Reads that fail (missing, truncated, corrupt, injected fault) count as
+  misses and recompute; writes are atomic (tmp + ``os.replace``) with
+  last-write-wins among concurrent writers; a failed write warns once and
+  drops.  ``strict=True`` turns absorption into :class:`CacheIOError` for
+  callers that need to fail loud.
 """
 
 from __future__ import annotations
@@ -121,6 +140,11 @@ class PaRCache:
     def get(
         self, key: str, events: Optional[List[Dict[str, Any]]] = None
     ) -> Optional[Dict[str, Any]]:
+        """Value stored under ``key``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses (logged in
+        ``stats()`` / ``events``) unless the cache is ``strict``.
+        """
         path = self._path(key)
         try:
             fault = inject("cache.read")
@@ -154,6 +178,11 @@ class PaRCache:
         value: Dict[str, Any],
         events: Optional[List[Dict[str, Any]]] = None,
     ) -> bool:
+        """Atomically store ``value`` under ``key``; ``False`` if dropped.
+
+        Failed writes warn once per directory and count in ``stats()``
+        (or raise :class:`CacheIOError` when ``strict``).
+        """
         path = self._path(key)
         tmp = None
         try:
@@ -228,6 +257,7 @@ class PaRCache:
         inner_num: float,
         kernel: str,
     ) -> str:
+        """Versioned content key of one placement run's semantic inputs."""
         material = "|".join(
             (
                 f"place-v{PLACE_ALGO_VERSION}",

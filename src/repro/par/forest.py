@@ -19,11 +19,26 @@ parent-pointer forest (CSR-style, mirroring the router's search view), so
   (plain int lists), so reconfiguration experiments re-hydrate routes on a
   cache hit instead of re-routing.
 
-The per-level scan performs *the same float additions in the same order*
-as the legacy dict walk (each node's accumulated delay is one binary add
-``acc[parent] + delay[node]``), so routed delays -- and therefore
-critical-path reports -- are bit-identical to PR 4's
-``_walk_connections`` / ``_walk_bfs``.
+Invariants (what every consumer may rely on, and ``validate()`` /
+``tests/test_forest.py`` check):
+
+* **Bit-identity with the dict walk.**  The per-level scan performs *the
+  same float additions in the same order* as the legacy dict walk (each
+  node's accumulated delay is one binary add ``acc[parent] + delay[node]``),
+  so routed delays -- and therefore critical-path reports -- are
+  bit-identical to the reference ``_walk_connections`` / ``_walk_bfs``.
+* **Structural soundness.**  ``parent[i]`` is either ``-1`` (child of the
+  net's SOURCE) or a position *in the same net's slice*; ``depth`` is
+  exactly ``parent``-chain length, so sorting by depth levelizes the scan;
+  every connection's ``conn_sink_pos`` points at a position whose RR node
+  is the connection's sink.
+* **Serialization round-trips.**  ``to_payload``/``from_payload`` (plain
+  int lists, JSON-safe) reproduce an equal forest; corrupt payloads fail
+  ``validate()`` rather than yielding wrong delays -- the property the
+  cache's hydration fallback relies on.
+* **Memoization is invisible.**  Fragment reuse is keyed on ``NetRoute``
+  object identity and only ever skips re-flattening of *unchanged* nets;
+  a memo hit never changes the assembled arrays.
 
 Layout
 ------
@@ -98,14 +113,17 @@ class RouteForest:
 
     @property
     def num_positions(self) -> int:
+        """Total tree nodes across every net (the length of ``node``)."""
         return len(self.node)
 
     @property
     def num_nets(self) -> int:
+        """Number of nets with a slice in the forest."""
         return len(self.net_id)
 
     @property
     def num_connections(self) -> int:
+        """Total (net, sink) connections across every net."""
         return len(self.conn_net)
 
     # -- vectorized consumers ------------------------------------------------
@@ -344,6 +362,7 @@ class _NetFragment:
         self.conn_end: List[int] = []   #: local conn_ptr end per connection
 
     def freeze(self) -> "_NetFragment":
+        """Convert the append lists to arrays; returns self for chaining."""
         self.node = np.asarray(self.node, dtype=np.int32)
         self.parent = np.asarray(self.parent, dtype=np.int64)
         self.depth = np.asarray(self.depth, dtype=np.int32)

@@ -1,0 +1,42 @@
+"""Multi-context reconfiguration: frame diffs, residency, trace replay.
+
+The paper's headline claim is fast micro-reconfiguration of one overlay;
+this package scales it to *many* application contexts multiplexed on one
+grid (see RECONFIGURATION.md):
+
+* :mod:`.frames` -- frame-level delta encoding between configuration
+  images, with the bit-identity invariant ``apply(base, diff) == target``;
+* :mod:`.context` -- :class:`~repro.reconfig.context.Context` /
+  :class:`~repro.reconfig.context.ContextLibrary` plus the full-design
+  bitstream rendering of a placed-and-routed result;
+* :mod:`.scheduler` -- the LRU + criticality-aware-admission scheduler
+  over a bounded context memory;
+* :mod:`.trace` -- seeded skewed request traces and replay reporting.
+
+Context libraries are built from circuits by
+:func:`repro.core.flows.build_context_library`, which routes every context
+through :func:`repro.par.flow.cached_route` -- on a warm
+:class:`~repro.par.cache.PaRCache` a context build re-hydrates its routed
+forest from disk and skips routing entirely.
+"""
+
+from .context import Context, ContextLibrary, render_context_bitstream
+from .frames import FrameDelta, apply_delta, diff_images, union_frames
+from .scheduler import ReconfigScheduler, SwitchOutcome
+from .trace import ReplayReport, popularity_weights, replay, synthetic_trace
+
+__all__ = [
+    "Context",
+    "ContextLibrary",
+    "render_context_bitstream",
+    "FrameDelta",
+    "diff_images",
+    "apply_delta",
+    "union_frames",
+    "ReconfigScheduler",
+    "SwitchOutcome",
+    "ReplayReport",
+    "popularity_weights",
+    "synthetic_trace",
+    "replay",
+]

@@ -1,0 +1,85 @@
+"""Frame-level delta encoding between configuration images.
+
+A *frame image* is the rendered content of a configuration: a mapping
+``frame id -> frame bits`` holding every nonzero frame
+(:meth:`repro.fpga.bitstream.Bitstream.frame_image`).  All-zero frames are
+absent by construction, which makes the representation canonical: two
+images are bit-identical iff the dicts are equal.
+
+A :class:`FrameDelta` is the exact set of frame writes that turns one image
+into another.  The invariant the whole reconfiguration scheduler rests on::
+
+    apply_delta(base, diff_images(base, target)) == target
+
+for *any* pair of images -- a diff-applied configuration is bit-identical
+to a full reconfiguration (gated in ``benchmarks/check_quality.py`` and
+``tests/test_reconfig.py``).  A delta write with value ``0`` clears a frame
+the target does not configure, so switching between arbitrary contexts
+never leaks stale frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["FrameDelta", "diff_images", "apply_delta", "union_frames"]
+
+
+@dataclass(frozen=True)
+class FrameDelta:
+    """Sorted, immutable list of ``(frame id, new content)`` writes."""
+
+    writes: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames this delta writes."""
+        return len(self.writes)
+
+    def __bool__(self) -> bool:
+        return bool(self.writes)
+
+
+def diff_images(base: Mapping[int, int], target: Mapping[int, int]) -> FrameDelta:
+    """The exact frame writes that turn ``base`` into ``target``.
+
+    Frames whose content is equal in both images are never written; frames
+    configured only in ``base`` are written back to zero.  The writes are
+    sorted by frame id, so the delta for a given image pair is
+    deterministic regardless of dict insertion order.
+    """
+    writes = []
+    for frame in base.keys() | target.keys():
+        value = target.get(frame, 0)
+        if base.get(frame, 0) != value:
+            writes.append((frame, value))
+    writes.sort()
+    return FrameDelta(tuple(writes))
+
+
+def apply_delta(base: Mapping[int, int], delta: FrameDelta) -> Dict[int, int]:
+    """Patch ``base`` with ``delta``, returning the new canonical image.
+
+    Zero-valued writes remove the frame from the image (the canonical form
+    never stores all-zero frames), so ``apply_delta(a, diff_images(a, b))``
+    compares equal to ``b`` with plain ``==``.
+    """
+    image = dict(base)
+    for frame, value in delta.writes:
+        if value:
+            image[frame] = value
+        else:
+            image.pop(frame, None)
+    return image
+
+
+def union_frames(base: Mapping[int, int], target: Mapping[int, int]) -> int:
+    """Frames a *full* reconfiguration from ``base`` to ``target`` writes.
+
+    The full path cannot know which frames already hold the right bits: it
+    writes every frame the target configures plus clears every frame only
+    the base configured -- the union of both key sets.  This is the
+    baseline the benchmark's full-vs-diff frame counts compare against.
+    """
+    return len(base.keys() | target.keys())

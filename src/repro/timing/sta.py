@@ -13,6 +13,24 @@ Per-connection slack and VPR-style criticality ``1 - slack / Dmax`` fall out
 of the same arrays, and the critical path is extracted by walking the
 arrival argmax backwards, itemized per element (LUT / wire / switch / pin)
 from the route-tree walk of :mod:`repro.timing.delays`.
+
+Invariants:
+
+* **Conservation.**  Per-connection ``slack = required(sink) -
+  arrival(source) - delay`` and the critical path has slack exactly zero;
+  the per-element breakdown of the extracted path sums *exactly* to
+  ``critical_path_ns`` (asserted by the reconciliation tests).
+* **Depth compatibility.**  The analysis's ``logic_depth`` equals the
+  mapped network's ``depth()`` -- STA reads the same DAG the mapper
+  produced, and ``check_quality.py`` fails the benchmark when they
+  diverge.
+* **Flat == dict.**  :meth:`CriticalityTracker.update_flat` (the dense
+  ``conn_crit`` vector indexed by connection id) is bit-identical to the
+  dict-returning :meth:`CriticalityTracker.update`; the dict path is kept
+  as the equivalence baseline, not as a second behavior.
+* **Criticalities are bounded.**  Every criticality lies in ``[0, 1]``;
+  connections absent from the route set score ``0.0``, so a partially
+  routed iteration can never over-prioritize missing nets.
 """
 
 from __future__ import annotations
@@ -58,6 +76,7 @@ class CriticalPathElement:
     delay_ns: float  #: total delay contributed (count * unit delay)
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON reports."""
         return {
             "kind": self.kind,
             "name": self.name,
@@ -101,6 +120,7 @@ class TimingAnalysis:
         return out
 
     def summary(self) -> Dict[str, float]:
+        """Headline numbers: critical path, depth, worst slack, mean criticality."""
         worst_slack = 0.0
         if self.graph.sink_nodes.size:
             worst_slack = float(self.slack[self.graph.sink_nodes].min())
@@ -199,6 +219,7 @@ def _extract_critical_path(
     start = int(graph.edge_src[path_edges[0]]) if path_edges else end
 
     def lut_element(block: int) -> None:
+        """Append ``block``'s intrinsic-delay element to the breakdown."""
         b = netlist.blocks[block]
         if graph.node_logic[block]:
             elements.append(CriticalPathElement("lut", b.name, 1, model["lut"]))
