@@ -67,7 +67,12 @@ Three comparisons are made:
   diff-applied active plane is checked bit-identical to a full
   reconfiguration of the target -- the identity ``check_quality.py`` gates
   -- alongside contexts/sec, amortized switch cost, hit rate and the
-  full-vs-diff frame savings.
+  full-vs-diff frame savings;
+* **obs** -- the PR 9 observability layer (``src/repro/obs``; see
+  OBSERVABILITY.md): the disabled ``span()`` per-call cost, the traced
+  slowdown of the place+route workload (both gated by
+  ``check_quality.py``), bit-identity of traced vs untraced results, and a
+  Chrome-trace artifact (``BENCH_trace.json``) from the traced run.
 """
 
 from __future__ import annotations
@@ -134,6 +139,9 @@ NATIVE_ANNEAL_SPEEDUP_FLOOR = 5.0  #: recorded native-vs-python move-loop target
 RECONFIG_CONTEXTS = 24       #: synthetic contexts in the scheduler bench
 RECONFIG_TRACE_LENGTH = 2000  #: requests replayed against the scheduler
 RECONFIG_BUDGET_FRACTION = 0.3  #: context-memory budget / library footprint
+OBS_DISABLED_NS_CEILING = 2000.0  #: disabled span() cost bound, ns/call
+OBS_SLOWDOWN_CEILING = 1.05  #: traced route+place wall-time ratio bound
+TRACE_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
 
 
 def _build_workload():
@@ -989,6 +997,95 @@ def bench_reconfig(arch):
     }
 
 
+def bench_obs(netlist, arch, placement, width):
+    """Observability overhead: disabled span cost + traced-run slowdown.
+
+    Two gated claims (see OBSERVABILITY.md): with tracing *disabled* a
+    ``span()`` call is one global load plus a ``None`` compare, measured
+    here in ns/call; with tracing *enabled* the same place+route workload
+    slows down by at most ``OBS_SLOWDOWN_CEILING`` (min-of-N on both sides,
+    interleaved so machine-load drift hits them alike), produces
+    bit-identical results, and leaves a valid Chrome ``trace_event`` file
+    at ``BENCH_trace.json`` (loadable in chrome://tracing / Perfetto;
+    uploaded as a CI artifact).
+    """
+    from repro.obs.trace import clear as obs_clear
+    from repro.obs.trace import span, tracing
+
+    device = build_device(arch.with_channel_width(width))
+    route(netlist, placement, device, kernel="astar", max_iterations=1)  # warm view
+
+    obs_clear()  # measure the disabled fast path, not an inherited tracer
+    n = 200_000
+    t0 = time.perf_counter_ns()
+    for _ in range(n):
+        with span("bench.obs"):
+            pass
+    disabled_ns = (time.perf_counter_ns() - t0) / n
+
+    def workload():
+        placed = place(netlist, arch, seed=0, effort=PLACE_EFFORT)
+        routed = route(netlist, placement, device, kernel="astar")
+        return placed, routed
+
+    off = on = None
+    off_s = on_s = None
+    for _ in range(3):
+        off_i, dt_off = _timed(workload)
+        with tracing(str(TRACE_PATH)):
+            on_i, dt_on = _timed(workload)
+        if off_s is None or dt_off < off_s:
+            off, off_s = off_i, dt_off
+        if on_s is None or dt_on < on_s:
+            on, on_s = on_i, dt_on
+
+    slowdown = on_s / off_s
+    identical = (
+        on[0].cost == off[0].cost
+        and on[0].placement.block_site == off[0].placement.block_site
+        and on[1].wirelength == off[1].wirelength
+        and all(on[1].routes[k].nodes == r.nodes for k, r in off[1].routes.items())
+    )
+
+    trace_events = []
+    try:
+        trace_events = json.loads(TRACE_PATH.read_text())
+        trace_valid = isinstance(trace_events, list)
+    except (OSError, json.JSONDecodeError):
+        trace_valid = False
+    names = {e.get("name") for e in trace_events} if trace_valid else set()
+    trace_complete = {"par.place", "par.route", "route.overuse", "place.cost"} <= names
+
+    telemetry = on[1].telemetry or {}
+    return {
+        "workload": (
+            f"place(effort={PLACE_EFFORT}) + astar route of {len(netlist.nets)} "
+            f"nets at W={width}, traced vs untraced, min-of-3 interleaved"
+        ),
+        "disabled_ns_per_call": disabled_ns,
+        "disabled_ns_ceiling": OBS_DISABLED_NS_CEILING,
+        "untraced_seconds": off_s,
+        "traced_seconds": on_s,
+        "traced_slowdown": slowdown,
+        "slowdown_ceiling": OBS_SLOWDOWN_CEILING,
+        "identical_outputs": identical,
+        "trace_path": str(TRACE_PATH),
+        "trace_events": len(trace_events),
+        "chrome_trace_valid": trace_valid,
+        "trace_complete": trace_complete,
+        "route_iterations_in_telemetry": len(
+            telemetry.get("overuse_per_iteration", ())
+        ),
+        "ok": (
+            disabled_ns <= OBS_DISABLED_NS_CEILING
+            and slowdown <= OBS_SLOWDOWN_CEILING
+            and identical
+            and trace_valid
+            and trace_complete
+        ),
+    }
+
+
 def main() -> int:
     circuit, network, netlist, arch = _build_workload()
 
@@ -1012,6 +1109,8 @@ def main() -> int:
     native_result = bench_native(netlist, arch, placement, width)
     print("benchmarking multi-context reconfiguration ...")
     reconfig_result = bench_reconfig(arch)
+    print("benchmarking observability overhead ...")
+    obs_result = bench_obs(netlist, arch, placement, width)
 
     report = {
         "config": {
@@ -1034,6 +1133,7 @@ def main() -> int:
             "auto_crossover": crossover_result,
             "native": native_result,
             "reconfig": reconfig_result,
+            "obs": obs_result,
         },
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -1111,6 +1211,15 @@ def main() -> int:
                 f"hit_rate={entry['hit_rate']:.2f} "
                 f"frame_savings={entry['frame_savings']:.2f} "
                 f"identical={entry['diff_identical']}"
+            )
+        elif name == "obs":
+            print(
+                f"{name:11s} {flag} disabled span "
+                f"{entry['disabled_ns_per_call']:.0f}ns/call, traced slowdown "
+                f"x{entry['traced_slowdown']:.3f} "
+                f"(untraced {entry['untraced_seconds'] * 1000:.1f}ms), "
+                f"identical={entry['identical_outputs']} "
+                f"trace={entry['trace_events']}ev valid={entry['chrome_trace_valid']}"
             )
         elif name == "placement":
             b = entry["batched"]

@@ -37,7 +37,12 @@ benchmark shows
   is not bit-identical to a full reconfiguration of the target (the
   ``repro.reconfig`` invariant, see RECONFIGURATION.md), a missing
   section, or a skewed-trace replay with no residency hits or no frame
-  savings at all (the scheduler stopped buying anything).
+  savings at all (the scheduler stopped buying anything),
+* an observability regression: the disabled ``span()`` fast path costs
+  more than ``OBS_DISABLED_NS`` per call, a traced place+route run is
+  more than 5% slower than the untraced twin, tracing perturbed the
+  results (the trajectory-neutrality contract, see OBSERVABILITY.md),
+  or the emitted Chrome trace is invalid or missing expected spans.
 
 The thresholds here are looser than the in-benchmark ``ok`` flags on
 purpose: this gate is about catching real regressions, not about
@@ -58,6 +63,8 @@ from pathlib import Path
 REGRESSION_BAND = 1.10  # >10% quality loss fails the nightly
 RETIME_TARGET = 3.0     # issue 5: flat retime speedup target ...
 RETIME_SLACK = 1.25     # ... enforced with 25% headroom for machine load
+OBS_DISABLED_NS = 2000.0  # issue 9: disabled span() per-call ceiling (ns)
+OBS_SLOWDOWN = 1.05       # issue 9: traced place+route wall-time ratio ceiling
 
 
 def check(report: dict) -> list:
@@ -242,6 +249,39 @@ def check(report: dict) -> list:
             problems.append(
                 "reconfig: diff switches saved no frames over full "
                 "reconfigurations on the skewed trace"
+            )
+
+    obs = kernels.get("obs", {})
+    if not obs:
+        problems.append("obs: benchmark section missing")
+    else:
+        disabled_ns = obs.get("disabled_ns_per_call")
+        if disabled_ns is None:
+            problems.append("obs: disabled span() cost missing")
+        elif disabled_ns > OBS_DISABLED_NS:
+            problems.append(
+                f"obs: disabled span() costs {disabled_ns:.0f} ns/call "
+                f"(> {OBS_DISABLED_NS:.0f} ns -- the zero-overhead "
+                "contract of OBSERVABILITY.md)"
+            )
+        slowdown = obs.get("traced_slowdown")
+        if slowdown is None:
+            problems.append("obs: traced-run slowdown missing")
+        elif slowdown > OBS_SLOWDOWN:
+            problems.append(
+                f"obs: traced place+route run {slowdown:.3f}x of the "
+                f"untraced twin (> {OBS_SLOWDOWN}x)"
+            )
+        if not obs.get("identical_outputs", False):
+            problems.append(
+                "obs: tracing perturbed the place/route results "
+                "(trajectory neutrality broken)"
+            )
+        if not obs.get("chrome_trace_valid", False):
+            problems.append("obs: emitted Chrome trace is not valid JSON")
+        if not obs.get("trace_complete", False):
+            problems.append(
+                "obs: Chrome trace is missing expected span/series names"
             )
     return problems
 

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from ..fpga.architecture import FPGAArchitecture
 from ..netlist.circuit import Circuit
+from ..obs.trace import span
 from ..par.flow import PaRResult, place_and_route
 from ..synth.synthesis import SynthesisResult, synthesize
 from ..techmap.lutmap import map_conventional
@@ -156,14 +157,16 @@ def run_pe_flow(
     elapsed: Dict[str, float] = {}
 
     t0 = time.perf_counter()
-    synth = synthesize(circuit)
+    with span("flow.synthesis"):
+        synth = synthesize(circuit)
     elapsed["synthesis"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    if parameterized:
-        network = map_parameterized(synth.circuit)
-    else:
-        network = map_conventional(synth.circuit)
+    with span("flow.techmap", parameterized=parameterized):
+        if parameterized:
+            network = map_parameterized(synth.circuit)
+        else:
+            network = map_conventional(synth.circuit)
     elapsed["technology_mapping"] = time.perf_counter() - t0
 
     par = None
@@ -272,7 +275,9 @@ def build_context_library(
 
     Returns a :class:`repro.reconfig.context.ContextLibrary` whose contexts
     are registered in ``circuits`` iteration order (= popularity order for
-    :func:`repro.reconfig.trace.synthetic_trace`).
+    :func:`repro.reconfig.trace.synthetic_trace`); its ``build_stats``
+    carries the build cache's counter snapshot plus ``hit_rate`` whenever a
+    cache served the build.
     """
     # Imported here: repro.reconfig depends on repro.core.reconfiguration,
     # and a module-level import would make that a package-import cycle.
@@ -281,6 +286,13 @@ def build_context_library(
     if not circuits:
         raise ValueError("context library needs at least one circuit")
     popularity = popularity or {}
+    if cache is None:
+        # Resolve the env cache once so the whole build shares one counter
+        # set (place_and_route would otherwise make a fresh instance per
+        # circuit and the library's build_stats would always read zero).
+        from ..par.cache import PaRCache
+
+        cache = PaRCache.from_env()
 
     networks: Dict[str, MappedNetwork] = {}
     for name, circuit in circuits.items():
@@ -328,4 +340,7 @@ def build_context_library(
                 "wirelength": float(par.wirelength),
             },
         )
+    if cache is not None:
+        library.build_stats = dict(cache.stats())
+        library.build_stats["hit_rate"] = cache.hit_rate()
     return library

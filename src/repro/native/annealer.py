@@ -43,7 +43,9 @@ import numpy as np
 
 from .build import load_kernel
 
-__all__ = ["annealer_kernel", "NativeAnnealer", "SOURCE", "ISTATE"]
+__all__ = [
+    "annealer_kernel", "NativeAnnealer", "SOURCE", "ISTATE", "istate_counters",
+]
 
 #: istate slot layout shared with the C side.
 ISTATE = {
@@ -52,6 +54,17 @@ ISTATE = {
     "total_cost": 6, "timing_cost": 7, "mvid": 8, "abort": 9,
 }
 ISTATE_LEN = 10
+
+
+def istate_counters(istate: np.ndarray) -> Dict[str, int]:
+    """Named snapshot of the istate array, the annealer's counter out-param.
+
+    The C kernel has no other channel back to Python: every counter it
+    maintains (moves attempted/accepted, running costs, RNG cursors) lives
+    in one int64 slot of ``istate``, so telemetry reads are plain array
+    loads that cannot perturb the anneal trajectory.
+    """
+    return {name: int(istate[idx]) for name, idx in ISTATE.items()}
 
 SOURCE = r"""
 /* Native twin of repro.par.placement._place_batched's move loop.

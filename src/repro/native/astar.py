@@ -32,6 +32,12 @@ tree and appends to the net's :class:`~repro.par.forest._NetFragment`
 (fragments are emitted during routing now, not rebuilt per re-routed net
 at forest-build time).
 
+Observability: ``bind`` takes an ``int64`` *stats* out-param array and the
+kernel increments ``stats[0]`` once per expanded node (adjacency scan) --
+the same definition the Python twin counts -- feeding the
+``route.nodes_expanded`` telemetry (see OBSERVABILITY.md) with integer-only
+side effects that cannot perturb the FP trajectory.
+
 Not thread-safe: search scratch (heap, seed list) lives in static storage
 inside the shared object, mirroring the single-threaded Python kernel.
 Process-pool drivers get one copy per worker, which is the supported
@@ -88,12 +94,14 @@ static double        *g_csf;
 static int64_t       *g_prev;
 static int64_t       *g_tree_mark;
 static double         g_fac, g_pfb;
+static int64_t       *g_stats;  /* out-param counters: [0] = nodes expanded */
 
 void repro_astar_bind(const int64_t *csr_ptr, const int32_t *csr_dst,
                       const int64_t *xs, const int64_t *ys,
                       const int8_t *ntype, int64_t ipin_t, int64_t sink_t,
                       int64_t *visited, double *csf, int64_t *prev,
-                      int64_t *tree_mark, double fac, double pin_floor)
+                      int64_t *tree_mark, double fac, double pin_floor,
+                      int64_t *stats)
 {
     g_csr_ptr = csr_ptr; g_csr_dst = csr_dst;
     g_xs = xs; g_ys = ys;
@@ -101,6 +109,7 @@ void repro_astar_bind(const int64_t *csr_ptr, const int32_t *csr_dst,
     g_visited = visited; g_csf = csf; g_prev = prev;
     g_tree_mark = tree_mark;
     g_fac = fac; g_pfb = pin_floor;
+    g_stats = stats;
 }
 
 void repro_astar_costs(const double *cost, const double *dly)
@@ -281,6 +290,7 @@ int64_t repro_astar_search(int64_t gen, const int64_t *tree, int64_t tree_len,
         } else break;
         for (;;) {
             if (f >= s_best) { found = 1; goto backtrace; }
+            g_stats[0]++;  /* node expanded: its adjacency is scanned */
             double chase_f = HUGE_VAL, chase_g = 0.0;
             int64_t chase_m = -1;
             int64_t e_end = g_csr_ptr[n + 1];
@@ -355,7 +365,7 @@ class NativeAstar:
         self._lib = lib
         self._bind = lib.repro_astar_bind
         self._bind.argtypes = [_p, _p, _p, _p, _p, _i64, _i64, _p, _p, _p, _p,
-                               _f64, _f64]
+                               _f64, _f64, _p]
         self._bind.restype = None
         self._costs = lib.repro_astar_costs
         self._costs.argtypes = [_p, _p]
@@ -369,14 +379,18 @@ class NativeAstar:
         self._refs: tuple = ()
 
     def bind(self, csr_ptr, csr_dst, xs_arr, ys_arr, ntype, ipin_t, sink_t,
-             visited, csf, prev, tree_mark, fac, pin_floor) -> None:
+             visited, csf, prev, tree_mark, fac, pin_floor, stats) -> None:
+        """Bind one route call's arrays; ``stats`` is an int64 out-param
+        counter array (``stats[0]`` accumulates nodes expanded) read by the
+        observability layer -- counting is integer-only, so it cannot
+        perturb the bit-identical FP trajectory."""
         self._refs = (csr_ptr, csr_dst, xs_arr, ys_arr, ntype,
-                      visited, csf, prev, tree_mark)
+                      visited, csf, prev, tree_mark, stats)
         self._bind(csr_ptr.ctypes.data, csr_dst.ctypes.data,
                    xs_arr.ctypes.data, ys_arr.ctypes.data,
                    ntype.ctypes.data, ipin_t, sink_t,
                    visited.ctypes.data, csf.ctypes.data, prev.ctypes.data,
-                   tree_mark.ctypes.data, fac, pin_floor)
+                   tree_mark.ctypes.data, fac, pin_floor, stats.ctypes.data)
 
     def set_costs(self, cost: np.ndarray, dly: np.ndarray) -> None:
         self._refs = self._refs + (cost, dly)

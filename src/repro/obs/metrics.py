@@ -1,0 +1,107 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+Where :mod:`repro.obs.trace` answers *when* (span timelines), this module
+answers *how much*: nodes expanded by the astar kernel, PathFinder
+iterations run, cache hits served, contexts evicted.  The registry is a
+plain always-on dict-increment store -- cheap enough that the hot seams
+update it unconditionally at *seam* granularity (once per route, per cache
+access, per context switch), never inside inner loops; inner loops count
+into locals / out-param arrays and merge once at the end.
+
+The registry aggregates across a whole process (monotonic within a run);
+per-result numbers live in ``PaRResult.telemetry`` instead, which the flow
+assembles from kernel-local measurements so pool workers and repeated runs
+never double-count.  :meth:`Tracer.close` dumps a registry snapshot into
+the trace file, which is how counters reach ``python -m repro.obs.report``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Union
+
+__all__ = ["MetricsRegistry", "registry", "add", "gauge", "observe", "merge"]
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Counters (monotonic), gauges (last value) and histograms (samples)."""
+
+    __slots__ = ("counters", "gauges", "_histograms")
+
+    def __init__(self) -> None:
+        """Create an empty registry."""
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one histogram sample for ``name``."""
+        self._histograms.setdefault(name, []).append(float(value))
+
+    def merge(self, counters: Mapping[str, Number]) -> None:
+        """Bulk-increment counters (one call per kernel/phase boundary)."""
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-able view: counters, gauges, and summarized histograms."""
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name, samples in self._histograms.items():
+            ordered = sorted(samples)
+            n = len(ordered)
+            histograms[name] = {
+                "count": n,
+                "min": ordered[0],
+                "max": ordered[-1],
+                "mean": sum(ordered) / n,
+                "p50": ordered[n // 2],
+                "p95": ordered[min(n - 1, (n * 95) // 100)],
+            }
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded values (tests and repeated bench sections)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self._histograms.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry the instrumented seams write to."""
+    return _GLOBAL
+
+
+def add(name: str, value: Number = 1) -> None:
+    """Increment a counter on the global registry."""
+    _GLOBAL.add(name, value)
+
+
+def gauge(name: str, value: Number) -> None:
+    """Set a gauge on the global registry."""
+    _GLOBAL.gauge(name, value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record a histogram sample on the global registry."""
+    _GLOBAL.observe(name, value)
+
+
+def merge(counters: Mapping[str, Number]) -> None:
+    """Bulk-increment counters on the global registry."""
+    _GLOBAL.merge(counters)

@@ -1,0 +1,229 @@
+"""Text reporter for trace files: ``python -m repro.obs.report run.jsonl``.
+
+Renders the three views the observability layer produces, with no
+dependencies beyond the standard library:
+
+* **top spans by self-time** -- wall time spent in each span name minus the
+  time attributed to its nested children, aggregated across processes and
+  threads, so the table points at actual hot phases rather than their
+  parents;
+* **counter table** -- the last sample of every counter
+  (:meth:`repro.obs.trace.Tracer.close` snapshots the metrics registry into
+  the file);
+* **convergence sparklines** -- every recorded series (PathFinder
+  per-iteration overuse, annealing cost-vs-temperature) as a unicode
+  sparkline with first/last values.
+
+Reads both trace formats written by :mod:`repro.obs.trace` (JSON-lines and
+Chrome ``trace_event`` arrays, including unsealed crash-truncated ones) and
+converts between them: ``--chrome out.json`` re-exports a JSON-lines trace
+as a Chrome trace for ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .trace import _to_chrome
+
+__all__ = ["load_records", "render_report", "write_chrome", "main"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    """Parse a trace file into internal records, whichever format it is.
+
+    JSON-lines files parse line by line; Chrome array files (``[`` first)
+    parse per event line, tolerating the unsealed (no ``]``) form a crashed
+    run leaves behind.  Chrome events map back onto the internal schema
+    (``X`` -> span, ``C`` -> counter, instants with a ``values`` arg ->
+    series, other instants -> event).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        try:
+            events = json.loads(stripped)
+        except json.JSONDecodeError:
+            # Unsealed Chrome array: one event per line, trailing commas.
+            events = []
+            for line in stripped[1:].splitlines():
+                line = line.strip().rstrip(",]")
+                if line:
+                    events.append(json.loads(line))
+        for ev in events:
+            rec = _from_chrome(ev)
+            if rec is not None:
+                records.append(rec)
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _from_chrome(ev: Dict[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`repro.obs.trace._to_chrome` (lossy on depth)."""
+    ph = ev.get("ph")
+    base = {
+        "name": ev.get("name", "?"),
+        "ts": ev.get("ts", 0),
+        "pid": ev.get("pid", 0),
+        "tid": ev.get("tid", 0),
+    }
+    if ph == "X":
+        return {"type": "span", "dur": ev.get("dur", 1), "args": ev.get("args"), **base}
+    if ph == "C":
+        return {"type": "counter", "value": ev.get("args", {}).get("value", 0), **base}
+    if ph == "i":
+        args = dict(ev.get("args") or {})
+        if "values" in args:
+            return {"type": "series", "values": args.pop("values"), "args": args, **base}
+        return {"type": "event", "args": args, **base}
+    return None  # metadata ("M") and unknown phases carry no report content
+
+
+def _self_times(spans: Sequence[Dict[str, Any]]) -> Dict[str, List[float]]:
+    """Aggregate (total_us, self_us, count) per span name via interval nesting."""
+    agg: Dict[str, List[float]] = {}
+    by_lane: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+    for s in spans:
+        by_lane.setdefault((s.get("pid", 0), s.get("tid", 0)), []).append(s)
+    for lane in by_lane.values():
+        lane.sort(key=lambda s: (s["ts"], -s["dur"]))
+        stack: List[Tuple[int, Dict[str, Any]]] = []  # (end_ts, span)
+        child_dur: Dict[int, int] = {}
+        for s in lane:
+            while stack and stack[-1][0] <= s["ts"]:
+                stack.pop()
+            if stack:
+                parent = stack[-1][1]
+                child_dur[id(parent)] = child_dur.get(id(parent), 0) + s["dur"]
+            stack.append((s["ts"] + s["dur"], s))
+        for s in lane:
+            total, self_us, count = agg.setdefault(s["name"], [0.0, 0.0, 0])
+            agg[s["name"]] = [
+                total + s["dur"],
+                self_us + max(0, s["dur"] - child_dur.get(id(s), 0)),
+                count + 1,
+            ]
+    return agg
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket down to ``width`` by taking each bucket's max (convergence
+        # plots care about the envelope, not individual samples).
+        step = len(values) / width
+        values = [
+            max(values[int(i * step) : max(int(i * step) + 1, int((i + 1) * step))])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / (hi - lo) * len(_SPARK)))]
+        for v in values
+    )
+
+
+def render_report(records: Iterable[Dict[str, Any]], top: int = 15) -> str:
+    """The full text report for parsed trace ``records``."""
+    records = list(records)
+    spans = [r for r in records if r.get("type") == "span"]
+    counters: Dict[str, Any] = {}
+    for r in records:
+        if r.get("type") == "counter":
+            counters[r["name"]] = r["value"]  # last sample wins
+    series = [r for r in records if r.get("type") == "series"]
+    events = [r for r in records if r.get("type") == "event"]
+
+    lines: List[str] = []
+    lines.append(f"trace: {len(spans)} spans, {len(counters)} counters, "
+                 f"{len(series)} series, {len(events)} events")
+
+    if spans:
+        agg = _self_times(spans)
+        lines.append("")
+        lines.append(f"top spans by self-time (of {len(agg)} names)")
+        lines.append(f"{'span':<36} {'count':>6} {'total ms':>10} {'self ms':>10}")
+        ranked = sorted(agg.items(), key=lambda kv: -kv[1][1])[:top]
+        for name, (total, self_us, count) in ranked:
+            lines.append(
+                f"{name[:36]:<36} {count:>6} {total / 1000.0:>10.2f} {self_us / 1000.0:>10.2f}"
+            )
+
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"{name[:48]:<48} {counters[name]:>14}")
+
+    if series:
+        lines.append("")
+        lines.append("convergence")
+        for r in series:
+            values = r.get("values") or []
+            if not values:
+                continue
+            label = f"{r['name']} [{len(values)}]"
+            lines.append(
+                f"{label[:36]:<36} {sparkline(values)}  "
+                f"{values[0]:g} -> {values[-1]:g}"
+            )
+
+    if events:
+        lines.append("")
+        lines.append(f"events ({len(events)})")
+        by_name: Dict[str, int] = {}
+        for r in events:
+            by_name[r["name"]] = by_name.get(r["name"], 0) + 1
+        for name in sorted(by_name):
+            lines.append(f"{name[:48]:<48} {by_name[name]:>6}")
+
+    return "\n".join(lines)
+
+
+def write_chrome(records: Iterable[Dict[str, Any]], path: str) -> None:
+    """Export parsed records as a sealed Chrome ``trace_event`` JSON array."""
+    events = [_to_chrome(r) for r in records if r.get("type")]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh)
+
+
+def main(argv: Sequence[str]) -> int:
+    """CLI entry point; see the module docstring for usage."""
+    args = list(argv)
+    top = 15
+    chrome_out = None
+    if "--top" in args:
+        i = args.index("--top")
+        top = int(args[i + 1])
+        del args[i : i + 2]
+    if "--chrome" in args:
+        i = args.index("--chrome")
+        chrome_out = args[i + 1]
+        del args[i : i + 2]
+    if len(args) != 1:
+        print("usage: python -m repro.obs.report <trace> [--top N] [--chrome out.json]")
+        return 2
+    records = load_records(args[0])
+    if chrome_out:
+        write_chrome(records, chrome_out)
+        print(f"wrote {chrome_out}")
+    print(render_report(records, top=top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..fpga.architecture import FPGAArchitecture
+from ..obs import metrics as obs_metrics
 from ..util.resilience import inject, record_event
 from .netlist import PhysicalNetlist
 from .placement import Placement
@@ -132,6 +133,11 @@ class PaRCache:
             "dropped_writes": self.dropped_writes,
         }
 
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     # -- generic key/value store ------------------------------------------------
 
     def _path(self, key: str) -> Path:
@@ -157,6 +163,7 @@ class PaRCache:
         except FileNotFoundError:
             # A plain miss: the entry was never written.  Not an error.
             self.misses += 1
+            obs_metrics.add("cache.misses")
             return None
         except (OSError, ValueError) as exc:
             # The entry exists but cannot be decoded -- a rotted shared
@@ -164,12 +171,14 @@ class PaRCache:
             # injected fault.  Treat as a miss and recompute.
             self.misses += 1
             self.read_errors += 1
+            obs_metrics.merge({"cache.misses": 1, "cache.read_errors": 1})
             record_event(events, "cache-read-error", site="cache.read",
                          key=key, error=f"{type(exc).__name__}: {exc}")
             if self.strict:
                 raise CacheIOError(f"cache read failed for {key}: {exc}") from exc
             return None
         self.hits += 1
+        obs_metrics.add("cache.hits")
         return value
 
     def put(
@@ -205,6 +214,7 @@ class PaRCache:
                 except OSError:
                     pass
             self.dropped_writes += 1
+            obs_metrics.add("cache.dropped_writes")
             record_event(events, "cache-write-dropped", site="cache.write",
                          key=key, error=f"{type(exc).__name__}: {exc}")
             dir_key = str(self.directory)

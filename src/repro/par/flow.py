@@ -34,6 +34,7 @@ import numpy as np
 
 from ..fpga.architecture import FPGAArchitecture, auto_size
 from ..fpga.device import Device, build_device
+from ..obs.trace import span, traced
 from ..techmap.mapping import MappedNetwork
 from ..timing.delays import structural_edge_delays
 from ..timing.graph import build_timing_graph
@@ -88,6 +89,12 @@ class PaRResult:
     #: producing this result (see RESILIENCE.md for the event taxonomy).
     #: Empty on a fault-free run.
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-run observability snapshot (see OBSERVABILITY.md): the routing
+    #: and placement convergence telemetry, the cache counters that served
+    #: this run, and per-kind recovery-event counts.  Never serialized into
+    #: cache payloads; ``None`` only for results built outside
+    #: :func:`place_and_route`.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     @property
     def wirelength(self) -> int:
@@ -123,9 +130,15 @@ class PaRResult:
             out["worst_slack_ns"] = self.sta.summary()["worst_slack_ns"]
         if self.min_channel_width is not None:
             out["min_channel_width"] = self.min_channel_width.min_channel_width
+        cache_stats = (self.telemetry or {}).get("cache")
+        if cache_stats is not None:
+            out["cache_hits"] = cache_stats["hits"]
+            out["cache_misses"] = cache_stats["misses"]
+            out["cache_hit_rate"] = cache_stats["hit_rate"]
         return out
 
 
+@traced("par.cached_route")
 def cached_route(
     netlist: PhysicalNetlist,
     placement: Placement,
@@ -183,6 +196,9 @@ def cached_route(
             if result is not None and (
                 result.kernel is None or result.kernel == resolved
             ):
+                # Re-hydrated results carry no convergence arrays (those are
+                # never serialized); mark the provenance instead.
+                result.telemetry = {"from_cache": True, "kernel": result.kernel}
                 return result
             # Entry exists but cannot be trusted (corrupt forest payload,
             # injected hydration fault, or a kernel mismatch from a
@@ -207,6 +223,7 @@ def cached_route(
     return result
 
 
+@traced("par.flow")
 def place_and_route(
     network: MappedNetwork,
     arch: Optional[FPGAArchitecture] = None,
@@ -338,6 +355,23 @@ def place_and_route(
         )
         events.extend(min_cw.events)
 
+    # Per-run observability snapshot: the kernels' convergence telemetry,
+    # the cache counters, and the recovery events folded to per-kind counts.
+    telemetry: Dict[str, Any] = {
+        "route": routing.telemetry,
+        "place": placement.telemetry,
+    }
+    if cache is not None:
+        cache_stats: Dict[str, Any] = dict(cache.stats())
+        cache_stats["hit_rate"] = cache.hit_rate()
+        telemetry["cache"] = cache_stats
+    if events:
+        by_kind: Dict[str, int] = {}
+        for ev in events:
+            kind = ev.get("event", "?")
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        telemetry["events"] = by_kind
+
     return PaRResult(
         network=network,
         netlist=netlist,
@@ -349,6 +383,7 @@ def place_and_route(
         sta=sta,
         objective=objective,
         events=events,
+        telemetry=telemetry,
     )
 
 

@@ -46,7 +46,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..fpga.architecture import FPGAArchitecture, Site
-from ..native.annealer import ISTATE, ISTATE_LEN, annealer_kernel
+from ..native.annealer import ISTATE, ISTATE_LEN, annealer_kernel, istate_counters
+from ..obs import metrics as obs_metrics
+from ..obs.trace import emit_series, traced
 from .netlist import PhysicalNetlist
 
 __all__ = [
@@ -127,6 +129,13 @@ class PlacementResult:
     #: were supplied (quantized-integer sum of weight * HPWL); ``None`` for
     #: plain HPWL annealing, where it would equal ``cost``.
     objective_cost: Optional[int] = None
+    #: per-run observability snapshot (see OBSERVABILITY.md): the annealing
+    #: schedule as parallel flat arrays -- ``temperature`` / ``cost`` /
+    #: ``acceptance``, one entry per temperature step (the temperature the
+    #: step annealed *at*, the total cost after it, and its acceptance
+    #: rate).  Excluded from equality and never serialized into cache
+    #: payloads, so ``PLACE_ALGO_VERSION`` is unaffected.
+    telemetry: Optional[Dict[str, object]] = field(default=None, compare=False, repr=False)
 
     @property
     def improvement(self) -> float:
@@ -212,6 +221,45 @@ def _next_range_limit(range_limit: float, acceptance: float, device_span: float)
     return min(limit, device_span)
 
 
+def _placement_telemetry(
+    kernel: str,
+    tl_temperature: List[float],
+    tl_cost: List[int],
+    tl_acceptance: List[float],
+    moves_attempted: int,
+    moves_accepted: int,
+    native: Optional[bool] = None,
+) -> Dict[str, object]:
+    """Assemble a kernel's convergence telemetry and publish the counters.
+
+    The three ``tl_*`` lists are parallel flat arrays with one entry per
+    temperature step: the temperature the step annealed *at* (before
+    cooling), the total cost after it, and its move acceptance rate.  The
+    dict lands in :attr:`PlacementResult.telemetry`; aggregate counters go
+    to the process-wide metrics registry and the cost curve to the trace
+    (both no-ops unless enabled).
+    """
+    telemetry: Dict[str, object] = {
+        "kernel": kernel,
+        "temperature": tl_temperature,
+        "cost": tl_cost,
+        "acceptance": tl_acceptance,
+    }
+    if native is not None:
+        telemetry["native"] = native
+    obs_metrics.merge(
+        {
+            "place.calls": 1,
+            "place.temperature_steps": len(tl_cost),
+            "place.moves_attempted": moves_attempted,
+            "place.moves_accepted": moves_accepted,
+        }
+    )
+    emit_series("place.cost", tl_cost, kernel=kernel)
+    return telemetry
+
+
+@traced("par.place")
 def place(
     netlist: PhysicalNetlist,
     arch: FPGAArchitecture,
@@ -331,6 +379,9 @@ def place(
     moves_attempted = 0
     moves_accepted = 0
     temperature_steps = 0
+    tl_temperature: List[float] = []
+    tl_cost: List[int] = []
+    tl_acceptance: List[float] = []
     num_groups = len(movable_groups)
     randrange = rng.randrange
     rand = rng.random
@@ -519,6 +570,9 @@ def place(
 
         temperature_steps += 1
         acceptance = accepted_this_temp / max(1, moves_per_temp)
+        tl_temperature.append(temperature)
+        tl_cost.append(total_cost)
+        tl_acceptance.append(acceptance)
         temperature = _cool(temperature, acceptance)
         range_limit = _next_range_limit(range_limit, acceptance, device_span)
         if temperature < 0.005 * total_cost / max(1, len(netlist.nets)) or (
@@ -538,6 +592,10 @@ def place(
         moves_attempted=moves_attempted,
         moves_accepted=moves_accepted,
         temperature_steps=temperature_steps,
+        telemetry=_placement_telemetry(
+            "incremental", tl_temperature, tl_cost, tl_acceptance,
+            moves_attempted, moves_accepted,
+        ),
     )
 
 
@@ -688,6 +746,9 @@ def _place_batched(
     moves_attempted = 0
     moves_accepted = 0
     temperature_steps = 0
+    tl_temperature: List[float] = []
+    tl_cost: List[int] = []
+    tl_acceptance: List[float] = []
     num_groups = len(groups)
     logic_group = bool(logic_blocks)
     width, height = arch.width, arch.height
@@ -934,6 +995,9 @@ def _place_batched(
             acceptance = int(istate[_S["accepted_this_temp"]]) / max(
                 1, moves_per_temp
             )
+            tl_temperature.append(temperature)
+            tl_cost.append(total_cost + timing_cost)
+            tl_acceptance.append(acceptance)
             temperature = _cool(temperature, acceptance)
             range_limit = _next_range_limit(range_limit, acceptance, device_span)
             if temperature < 0.005 * (total_cost + timing_cost) / max(
@@ -942,6 +1006,7 @@ def _place_batched(
                 break
         moves_attempted = int(istate[_S["attempted"]])
         moves_accepted = int(istate[_S["accepted"]])
+        istate_snapshot = istate_counters(istate)
         block_gsite = block_gsite_a.tolist()
 
     while nat is None and temperature_steps < 200:
@@ -1168,6 +1233,9 @@ def _place_batched(
 
         temperature_steps += 1
         acceptance = accepted_this_temp / max(1, moves_per_temp)
+        tl_temperature.append(temperature)
+        tl_cost.append(total_cost + timing_cost)
+        tl_acceptance.append(acceptance)
         temperature = _cool(temperature, acceptance)
         range_limit = _next_range_limit(range_limit, acceptance, device_span)
         if temperature < 0.005 * (total_cost + timing_cost) / max(
@@ -1180,6 +1248,14 @@ def _place_batched(
         if gi >= 0:
             placement.block_site[bid] = all_sites[gi]
 
+    telemetry = _placement_telemetry(
+        "batched", tl_temperature, tl_cost, tl_acceptance,
+        moves_attempted, moves_accepted, native=nat is not None,
+    )
+    if nat is not None:
+        # Full counter out-param snapshot from the C kernel (see
+        # repro.native.annealer.istate_counters).
+        telemetry["istate"] = istate_snapshot
     if weighted:
         # Report the unweighted exact-int HPWL (the metric every consumer
         # compares across kernels); the annealed weighted objective rides
@@ -1192,6 +1268,7 @@ def _place_batched(
             moves_accepted=moves_accepted,
             temperature_steps=temperature_steps,
             objective_cost=total_cost + timing_cost,
+            telemetry=telemetry,
         )
     return PlacementResult(
         placement=placement,
@@ -1200,6 +1277,7 @@ def _place_batched(
         moves_attempted=moves_attempted,
         moves_accepted=moves_accepted,
         temperature_steps=temperature_steps,
+        telemetry=telemetry,
     )
 
 
@@ -1280,6 +1358,9 @@ def _place_reference(
     moves_attempted = 0
     moves_accepted = 0
     temperature_steps = 0
+    tl_temperature: List[float] = []
+    tl_cost: List[int] = []
+    tl_acceptance: List[float] = []
 
     def pick_move():
         group = movable_groups[rng.randrange(len(movable_groups))]
@@ -1330,6 +1411,9 @@ def _place_reference(
 
         temperature_steps += 1
         acceptance = accepted_this_temp / max(1, moves_per_temp)
+        tl_temperature.append(temperature)
+        tl_cost.append(state.total_cost)
+        tl_acceptance.append(acceptance)
         temperature = _cool(temperature, acceptance)
         range_limit = _next_range_limit(range_limit, acceptance, device_span)
         if temperature < 0.005 * state.total_cost / max(1, len(netlist.nets)) or (
@@ -1344,4 +1428,8 @@ def _place_reference(
         moves_attempted=moves_attempted,
         moves_accepted=moves_accepted,
         temperature_steps=temperature_steps,
+        telemetry=_placement_telemetry(
+            "reference", tl_temperature, tl_cost, tl_acceptance,
+            moves_attempted, moves_accepted,
+        ),
     )

@@ -55,15 +55,18 @@ route quality is re-baselined in ``benchmarks/bench_hotpaths.py``
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..fpga.device import Device
 from ..fpga.routing_graph import RR_BASE_COST, RRGraph, RRNodeType
 from ..native.astar import astar_kernel
+from ..obs import metrics as obs_metrics
+from ..obs.trace import emit_series, span
 from ..util.resilience import Deadline, DeadlineExceeded, FaultInjected, inject, record_event
 from .forest import RouteForest, _NetFragment, _append_conn, build_route_forest
 from .netlist import PhysicalNetlist
@@ -120,6 +123,15 @@ class RoutingResult:
     #: results under the requested kernel's key.  ``None`` on re-hydrated
     #: payloads that predate the field.
     kernel: Optional[str] = None
+    #: per-run observability snapshot (see OBSERVABILITY.md): convergence
+    #: timelines (``overuse_per_iteration``, ``rerouted_nets_per_iteration``,
+    #: ``iteration_wall_ms``) plus kernel counters (``nodes_expanded``,
+    #: ``sta_retimes``).  Excluded from equality -- wall times differ run to
+    #: run while the routes stay bit-identical -- and deliberately *not*
+    #: serialized into cache payloads (artifacts stay telemetry-free, so
+    #: ``ROUTE_ALGO_VERSION`` is unaffected); re-hydrated results carry
+    #: ``{"from_cache": True}`` instead.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     def describe(self) -> str:
         status = "routable" if self.success else "CONGESTED"
@@ -255,47 +267,55 @@ def route(
         raise ValueError(
             f"objective='timing' requires the astar or wavefront kernel, not {kernel!r}"
         )
-    if kernel == "reference":
-        result = _route_reference(
-            netlist, placement, device,
-            max_iterations=max_iterations,
-            pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
-            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
-            deadline=deadline,
-        )
-    elif kernel == "astar":
-        result = _route_astar(
-            netlist, placement, device,
-            max_iterations=max_iterations,
-            pres_fac_init=1.0 if pres_fac_init is None else pres_fac_init,
-            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
-            bbox_margin=bbox_margin, objective=objective,
-            max_criticality=max_criticality,
-            criticality_exponent=criticality_exponent,
-            deadline=deadline,
-        )
-    elif kernel == "wavefront":
-        result = _route_wavefront(
-            netlist, placement, device,
-            max_iterations=max_iterations,
-            pres_fac_init=3.0 if pres_fac_init is None else pres_fac_init,
-            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
-            bbox_margin=bbox_margin, delta=delta, batch=batch,
-            objective=objective, max_criticality=max_criticality,
-            criticality_exponent=criticality_exponent,
-            deadline=deadline,
-        )
-    elif kernel == "fast":
-        result = _route_fast(
-            netlist, placement, device,
-            max_iterations=max_iterations,
-            pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
-            pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
-            deadline=deadline,
-        )
-    else:
-        raise ValueError(f"unknown routing kernel {kernel!r}")
+    with span("par.route", kernel=kernel, objective=objective, nets=len(netlist.nets)):
+        if kernel == "reference":
+            result = _route_reference(
+                netlist, placement, device,
+                max_iterations=max_iterations,
+                pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
+                pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+                deadline=deadline,
+            )
+        elif kernel == "astar":
+            result = _route_astar(
+                netlist, placement, device,
+                max_iterations=max_iterations,
+                pres_fac_init=1.0 if pres_fac_init is None else pres_fac_init,
+                pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+                bbox_margin=bbox_margin, objective=objective,
+                max_criticality=max_criticality,
+                criticality_exponent=criticality_exponent,
+                deadline=deadline,
+            )
+        elif kernel == "wavefront":
+            result = _route_wavefront(
+                netlist, placement, device,
+                max_iterations=max_iterations,
+                pres_fac_init=3.0 if pres_fac_init is None else pres_fac_init,
+                pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+                bbox_margin=bbox_margin, delta=delta, batch=batch,
+                objective=objective, max_criticality=max_criticality,
+                criticality_exponent=criticality_exponent,
+                deadline=deadline,
+            )
+        elif kernel == "fast":
+            result = _route_fast(
+                netlist, placement, device,
+                max_iterations=max_iterations,
+                pres_fac_init=0.6 if pres_fac_init is None else pres_fac_init,
+                pres_fac_mult=pres_fac_mult, hist_fac=hist_fac, astar_fac=astar_fac,
+                deadline=deadline,
+            )
+        else:
+            raise ValueError(f"unknown routing kernel {kernel!r}")
     result.kernel = kernel
+    if result.telemetry is not None:
+        # Convergence timelines land in the trace (no-ops when disabled);
+        # the arrays themselves stay on the result for PaRResult.telemetry.
+        emit_series(
+            "route.overuse", result.telemetry.get("overuse_per_iteration", ()),
+            kernel=kernel,
+        )
     return result
 
 
@@ -500,6 +520,11 @@ def _route_astar(
     # trajectories -- see repro.native.astar), so which backend ran is
     # unobservable in the result.  None -> pure-Python kernels.
     nat = astar_kernel()
+    # Nodes-expanded counter: the native kernel accumulates into the int64
+    # out-param array, the Python twin into the one-slot list cell -- same
+    # definition (one count per adjacency scan), integer-only either way.
+    nat_stats = np.zeros(1, dtype=np.int64)
+    py_expanded = [0]
     if nat is not None:
         visited_gen: List[int] = []     # unused; the arrays below replace them
         cost_so_far: List[float] = []
@@ -513,7 +538,7 @@ def _route_astar(
         nat.bind(
             view.csr_ptr, view.csr_dst, view.xs_arr, view.ys_arr, nat_ntype,
             int(IPIN), int(SINK), nat_visited, nat_csf, nat_prev,
-            nat_tree_mark, astar_fac, _PIN_FLOOR,
+            nat_tree_mark, astar_fac, _PIN_FLOOR, nat_stats,
         )
         entry_csr = view.entry_csr
     else:
@@ -560,6 +585,7 @@ def _route_astar(
         xs_l, ys_l, adj_l, cost_l = xs, ys, adj, cost
         visited_l, csf_l, prev_l = visited_gen, cost_so_far, prev_node
         push, pop = heappush, heappop
+        exp_l = py_expanded
         dly_l = delay_l
         omc = 1.0 - crt
         pf = _PIN_FLOOR if crt == 0.0 else omc * _PIN_FLOOR
@@ -647,6 +673,7 @@ def _route_astar(
                     # anything left in the heap can beat the completion
                     # already found: the recorded backtrace is final.
                     return True
+                exp_l[0] += 1  # node expanded: its adjacency is scanned
                 # Expand n; the cheapest improved neighbor is chased inline
                 # (no heap round-trip) while it is at least as good as the
                 # current heap top -- on straight corridors this removes the
@@ -883,10 +910,16 @@ def _route_astar(
     iteration = 0
     success = False
     net_ids = [net.id for net in netlist.nets]
+    # Convergence telemetry: plain list appends and clock reads at iteration
+    # granularity -- never an FP input to the search, so trajectory-neutral.
+    tl_overuse: List[int] = []
+    tl_rerouted: List[int] = []
+    tl_wall_ms: List[float] = []
 
     for iteration in range(1, max_iterations + 1):
         if deadline is not None:
             deadline.check(f"astar iteration {iteration}")
+        it_t0 = time.perf_counter()
         # Refresh the congestion cost vector for this iteration's pres_fac
         # and history (occupancy-driven entries are kept current by bump()).
         occ_arr = np.asarray(occupancy, dtype=np.int32)
@@ -902,18 +935,25 @@ def _route_astar(
         else:
             cost = cost_arr.tolist()
 
-        if iteration == 1:
-            for nid in net_ids:
-                route_net(nid)
-        else:
-            # Incremental re-route: only nets that occupy congested nodes,
-            # and within them only the congested connections.  over_now is
-            # live, so a net already healed by an earlier re-route in this
-            # iteration is skipped and one newly congested is picked up.
-            for nid in net_ids:
-                if not over_now.isdisjoint(routes[nid].nodes):
-                    reroute_net(nid)
+        rerouted = 0
+        with span("par.route.iteration", i=iteration):
+            if iteration == 1:
+                rerouted = len(net_ids)
+                for nid in net_ids:
+                    route_net(nid)
+            else:
+                # Incremental re-route: only nets that occupy congested nodes,
+                # and within them only the congested connections.  over_now is
+                # live, so a net already healed by an earlier re-route in this
+                # iteration is skipped and one newly congested is picked up.
+                for nid in net_ids:
+                    if not over_now.isdisjoint(routes[nid].nodes):
+                        reroute_net(nid)
+                        rerouted += 1
 
+        tl_overuse.append(len(over_now))
+        tl_rerouted.append(rerouted)
+        tl_wall_ms.append((time.perf_counter() - it_t0) * 1000.0)
         if not over_now:
             success = True
             break
@@ -939,8 +979,18 @@ def _route_astar(
         frag_cache = tracker._frag_cache if tracker is not None else {}
         _sync_frags(frag_cache)
         forest = build_route_forest(routes, rr, cache=frag_cache)
+    telemetry = {
+        "kernel": "astar",
+        "native": nat is not None,
+        "overuse_per_iteration": tl_overuse,
+        "rerouted_nets_per_iteration": tl_rerouted,
+        "iteration_wall_ms": tl_wall_ms,
+        "nodes_expanded": int(nat_stats[0]) if nat is not None else py_expanded[0],
+        "sta_retimes": tracker.updates if tracker is not None else 0,
+    }
     return _assemble_result(
         rr, routes, occ_arr, cap_arr, success, iteration, forest=forest,
+        telemetry=telemetry,
     )
 
 
@@ -1640,9 +1690,16 @@ def _route_wavefront(
         return batch_items
 
 
+    # Convergence telemetry (appends + clock reads only: trajectory-neutral).
+    tl_overuse: List[int] = []
+    tl_rerouted: List[int] = []
+    tl_wall_ms: List[float] = []
+
     for iteration in range(1, max_iterations + 1):
         if deadline is not None:
             deadline.check(f"wavefront iteration {iteration}")
+        it_t0 = time.perf_counter()
+        rerouted = 0
         refresh_cost()
         if iteration == 1:
             # One global queue: waves stay full until the work runs out, and
@@ -1662,6 +1719,7 @@ def _route_wavefront(
                     _NetWork(nid, order, [source], {source}, conns, net_bbox[nid])
                 )
             _drive(items)
+            rerouted = len(net_ids)
             for nid in net_ids:
                 routes[nid] = _net_route_of(nid)
         else:
@@ -1692,10 +1750,14 @@ def _route_wavefront(
                 if not batch_items:
                     break
                 _drive(batch_items)
+                rerouted += len(batch_items)
                 for work in batch_items:
                     net_conns[work.net_id] = work.conns
                     routes[work.net_id] = _net_route_of(work.net_id)
 
+        tl_overuse.append(int(np.count_nonzero(over_mask)))
+        tl_rerouted.append(rerouted)
+        tl_wall_ms.append((time.perf_counter() - it_t0) * 1000.0)
         if not over_mask.any():
             success = True
             break
@@ -1713,9 +1775,16 @@ def _route_wavefront(
     if success:
         frag_cache = tracker._frag_cache if tracker is not None else None
         forest = build_route_forest(routes, rr, cache=frag_cache)
+    telemetry = {
+        "kernel": "wavefront",
+        "overuse_per_iteration": tl_overuse,
+        "rerouted_nets_per_iteration": tl_rerouted,
+        "iteration_wall_ms": tl_wall_ms,
+        "sta_retimes": tracker.updates if tracker is not None else 0,
+    }
     return _assemble_result(
         rr, routes, occupancy.astype(np.int32), cap_arr.astype(np.int32),
-        success, iteration, forest=forest,
+        success, iteration, forest=forest, telemetry=telemetry,
     )
 
 
@@ -1844,8 +1913,12 @@ def _route_fast(
     iteration = 0
     success = False
     net_ids = [net.id for net in netlist.nets]
+    tl_overuse: List[int] = []
+    tl_rerouted: List[int] = []
+    tl_wall_ms: List[float] = []
 
     for iteration in range(1, max_iterations + 1):
+        it_t0 = time.perf_counter()
         # Refresh the congestion cost vector for this iteration's pres_fac
         # and history (occupancy-driven entries are kept current by bump()).
         occ_arr = np.asarray(occupancy, dtype=np.int32)
@@ -1871,6 +1944,9 @@ def _route_fast(
 
         occ_arr = np.asarray(occupancy, dtype=np.int32)
         over_nodes = int(np.count_nonzero(occ_arr > cap_arr))
+        tl_overuse.append(over_nodes)
+        tl_rerouted.append(len(targets))
+        tl_wall_ms.append((time.perf_counter() - it_t0) * 1000.0)
         if over_nodes == 0:
             success = True
             break
@@ -1878,7 +1954,15 @@ def _route_fast(
         pres_fac *= pres_fac_mult
 
     occ_arr = np.asarray(occupancy, dtype=np.int32)
-    return _assemble_result(rr, routes, occ_arr, cap_arr, success, iteration)
+    telemetry = {
+        "kernel": "fast",
+        "overuse_per_iteration": tl_overuse,
+        "rerouted_nets_per_iteration": tl_rerouted,
+        "iteration_wall_ms": tl_wall_ms,
+    }
+    return _assemble_result(
+        rr, routes, occ_arr, cap_arr, success, iteration, telemetry=telemetry
+    )
 
 
 def _assemble_result(
@@ -1889,6 +1973,7 @@ def _assemble_result(
     success: bool,
     iteration: int,
     forest: Optional[RouteForest] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> RoutingResult:
     wire_mask = (rr.node_type == RRNodeType.CHANX) | (rr.node_type == RRNodeType.CHANY)
     if forest is not None:
@@ -1898,6 +1983,20 @@ def _assemble_result(
         for r in routes.values():
             wirelength += sum(1 for n in r.nodes if wire_mask[n])
     max_chan_occ = int(occupancy[wire_mask].max()) if wire_mask.any() else 0
+    if telemetry is not None:
+        # One registry merge per route call (see repro.obs.metrics): the
+        # process-wide counters aggregate across calls, while the telemetry
+        # dict on the result stays per-run.
+        obs_metrics.merge(
+            {
+                "route.calls": 1,
+                "route.iterations": iteration,
+                "route.nodes_expanded": telemetry.get("nodes_expanded", 0),
+                "route.rerouted_nets": sum(
+                    telemetry.get("rerouted_nets_per_iteration", ())
+                ),
+            }
+        )
     return RoutingResult(
         routes=routes,
         success=success,
@@ -1906,6 +2005,7 @@ def _assemble_result(
         overused_nodes=int(np.count_nonzero(occupancy > capacity)),
         max_channel_occupancy=max_chan_occ,
         forest=forest,
+        telemetry=telemetry,
     )
 
 
@@ -2067,8 +2167,12 @@ def _route_reference(
     iteration = 0
     success = False
     net_ids = [net.id for net in netlist.nets]
+    tl_overuse: List[int] = []
+    tl_rerouted: List[int] = []
+    tl_wall_ms: List[float] = []
 
     for iteration in range(1, max_iterations + 1):
+        it_t0 = time.perf_counter()
         if iteration == 1:
             targets = net_ids
         else:
@@ -2084,10 +2188,21 @@ def _route_reference(
             routes[nid] = route_net(nid, pres_fac)
 
         over_nodes = int(np.count_nonzero(occupancy > capacity))
+        tl_overuse.append(over_nodes)
+        tl_rerouted.append(len(targets))
+        tl_wall_ms.append((time.perf_counter() - it_t0) * 1000.0)
         if over_nodes == 0:
             success = True
             break
         history += hist_fac * np.maximum(occupancy - capacity, 0)
         pres_fac *= pres_fac_mult
 
-    return _assemble_result(rr, routes, occupancy, capacity, success, iteration)
+    telemetry = {
+        "kernel": "reference",
+        "overuse_per_iteration": tl_overuse,
+        "rerouted_nets_per_iteration": tl_rerouted,
+        "iteration_wall_ms": tl_wall_ms,
+    }
+    return _assemble_result(
+        rr, routes, occupancy, capacity, success, iteration, telemetry=telemetry
+    )

@@ -64,6 +64,11 @@ class ContextLibrary:
         """Create an empty library for ``layout`` (one grid, one frame space)."""
         self.layout = layout
         self._contexts: Dict[str, Context] = {}
+        #: how the library was produced: :func:`repro.core.flows.
+        #: build_context_library` stores the PaR-cache counters (hits,
+        #: misses, hit_rate) of the build here; empty for hand-built
+        #: libraries.
+        self.build_stats: Dict[str, float] = {}
 
     def add(self, context: Context) -> Context:
         """Register ``context`` (names are unique; re-adding replaces)."""

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.reconfiguration import MICAP, ReconfigurationCostModel
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from .context import Context, ContextLibrary
 from .frames import apply_delta, diff_images, union_frames
 
@@ -148,6 +150,10 @@ class ReconfigScheduler:
         target's full image.
         """
         context = self.library[name]
+        with span("reconfig.switch", context=name):
+            return self._switch_to(name, context)
+
+    def _switch_to(self, name: str, context: Context) -> SwitchOutcome:
         delta = diff_images(self.active_image, context.image)
         frames_full = union_frames(self.active_image, context.image)
         resident = name in self._resident
@@ -182,6 +188,14 @@ class ReconfigScheduler:
         s["frames_written"] += delta.num_frames
         s["frames_full"] += frames_full
         s["time_ms"] += time_ms
+        obs_metrics.merge(
+            {
+                "reconfig.switches": 1,
+                "reconfig.hits" if resident else "reconfig.misses": 1,
+                "reconfig.evictions": len(evicted),
+                "reconfig.frames_written": delta.num_frames,
+            }
+        )
         return outcome
 
     # -- reporting ---------------------------------------------------------------

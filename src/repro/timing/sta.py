@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..fpga.device import Device
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..par.netlist import PhysicalNetlist
 from ..par.placement import Placement
 from .delays import (
@@ -278,23 +280,25 @@ def analyze(
     neither, every connection costs one wire hop -- the structural estimate
     whose criticalities drive the timing-aware placer.
     """
-    arch = device.arch
-    graph = build_timing_graph(netlist, arch.lut_delay_ns)
-    edge_wires = edge_pins = None
-    routes = getattr(routing, "routes", None) if routing is not None else None
-    forest = getattr(routing, "forest", None) if routing is not None else None
-    if routes is not None and placement is not None:
-        edge_delay, edge_wires, edge_pins = routed_edge_delays(
-            graph, routes, placement, device, forest=forest
-        )
-    elif routes is not None:
-        edge_delay = routed_wirecount_edge_delays(graph, routes, device)
-    elif placement is not None:
-        edge_delay, edge_wires, edge_pins = estimated_edge_delays(graph, placement, arch)
-    else:
-        edge_delay = structural_edge_delays(graph, arch)
-    arrival, required, slack, edge_slack, crit, dmax, depth = _scan(graph, edge_delay)
-    path = _extract_critical_path(graph, arrival, edge_delay, edge_wires, edge_pins, arch)
+    with span("timing.sta.analyze", nets=len(netlist.nets)):
+        arch = device.arch
+        graph = build_timing_graph(netlist, arch.lut_delay_ns)
+        edge_wires = edge_pins = None
+        routes = getattr(routing, "routes", None) if routing is not None else None
+        forest = getattr(routing, "forest", None) if routing is not None else None
+        if routes is not None and placement is not None:
+            edge_delay, edge_wires, edge_pins = routed_edge_delays(
+                graph, routes, placement, device, forest=forest
+            )
+        elif routes is not None:
+            edge_delay = routed_wirecount_edge_delays(graph, routes, device)
+        elif placement is not None:
+            edge_delay, edge_wires, edge_pins = estimated_edge_delays(graph, placement, arch)
+        else:
+            edge_delay = structural_edge_delays(graph, arch)
+        arrival, required, slack, edge_slack, crit, dmax, depth = _scan(graph, edge_delay)
+        path = _extract_critical_path(graph, arrival, edge_delay, edge_wires, edge_pins, arch)
+        obs_metrics.add("sta.analyze_calls")
     return TimingAnalysis(
         graph=graph,
         arrival=arrival,
@@ -459,6 +463,7 @@ class CriticalityTracker:
         *_, crit, dmax, _depth = _scan(self.graph, edge_delay)
         self.critical_path_ns = dmax
         self.updates += 1
+        obs_metrics.add("sta.retime_updates")
         return self._fold_to_conns(crit)
 
     def _edge_delay_from_forest(self, forest) -> np.ndarray:
@@ -515,4 +520,5 @@ class CriticalityTracker:
         *_, crit, dmax, _depth = _scan(self.graph, edge_delay)
         self.critical_path_ns = dmax
         self.updates += 1
+        obs_metrics.add("sta.retime_updates")
         return self._to_conn_dict(crit)

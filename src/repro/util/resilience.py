@@ -36,6 +36,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..obs.trace import emit_event
+
 __all__ = [
     "ResilienceError",
     "DeadlineExceeded",
@@ -404,6 +406,12 @@ def record_event(
 
     Events are plain JSON-able dicts ``{"event": kind, "site": site,
     ...detail}``; the taxonomy lives in ``RESILIENCE.md``.
+
+    Every recorded event is also forwarded to the observability trace
+    (:func:`repro.obs.trace.emit_event`, a no-op unless ``REPRO_TRACE`` /
+    a tracer is active), so ``PaRResult.events`` and the span timeline
+    share one sink and recovery actions show up *inside* the phase that
+    triggered them.
     """
     if events is None:
         return
@@ -412,6 +420,7 @@ def record_event(
         record["site"] = site
     record.update(detail)
     events.append(record)
+    emit_event(kind, record)
 
 
 def count_events(
