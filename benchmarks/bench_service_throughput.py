@@ -1,0 +1,219 @@
+"""Service-daemon throughput and crash-recovery benchmark.
+
+Drives an in-process :class:`repro.service.daemon.ServiceDaemon` through
+the three temperature tiers a long-running PAR service actually sees:
+
+* **cold miss** -- a job class (circuit family) no worker has built yet:
+  pays synthesis + technology mapping + the full physical flow;
+* **near hit** -- a known class with new flow knobs (seed): the worker's
+  memoized front end skips straight to place-and-route;
+* **hit** -- an exact duplicate spec: coalesced onto the in-flight run or
+  served from the result table, never recomputed.
+
+Measured: unique-job throughput (jobs/sec), p50/p99 completion latency
+(from the ``service.latency_ms`` histogram), and the coalescing hit count
+for the duplicate tier.  Contract checks ride along:
+
+* **bit identity** -- every service-produced digest equals a direct
+  in-process :func:`~repro.service.spec.execute_job` of the same spec;
+* **fault-free hygiene** -- the mixed workload must finish with zero
+  recovery events, zero worker restarts and zero journal drops (the
+  fault-free contract of RESILIENCE.md, service edition);
+* **crash recovery** -- a separate scenario kills a worker mid-job
+  (``service.exec=crash:1:@worker``) and requires the job to complete
+  with a bit-identical digest anyway.
+
+Results merge into ``BENCH_hotpaths.json`` as ``kernels.service`` (the
+section ``benchmarks/check_quality.py`` gates); existing sections from
+``bench_hotpaths.py`` are preserved.
+
+Run with::
+
+    python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs import metrics as obs_metrics
+from repro.service import JobSpec, ServiceConfig, ServiceDaemon, execute_job
+from repro.util import FaultPlan, fault_plan
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+#: Gate floors/ceilings (mirrored loosely in check_quality.py).
+JOBS_PER_SEC_FLOOR = 0.2
+P99_LATENCY_CEILING_MS = 30_000.0
+
+#: The bench circuit family: the smallest PEs that run the full flow.
+_BASE = dict(
+    we=3, wf=4, num_inputs=2, channel_width=12,
+    placement_effort=0.3, router_iterations=20,
+)
+
+#: Mixed workload -- two job classes (counter widths), several seeds each,
+#: plus exact duplicates of both classes.
+COLD = [
+    JobSpec(**_BASE, counter_width=4, seed=1),
+    JobSpec(**_BASE, counter_width=5, seed=1),
+]
+NEAR = [
+    JobSpec(**_BASE, counter_width=4, seed=2),
+    JobSpec(**_BASE, counter_width=4, seed=3),
+    JobSpec(**_BASE, counter_width=5, seed=2),
+]
+DUPLICATES = [COLD[0], COLD[1], NEAR[0]]
+UNIQUE = COLD + NEAR
+
+
+def _config(journal_dir, **overrides):
+    defaults = dict(
+        workers=2, queue_depth=64, deadline_s=120.0,
+        retry_attempts=3, retry_backoff_s=0.05,
+        journal_dir=journal_dir,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def _mixed_workload(direct_digests):
+    daemon = ServiceDaemon(_config(tempfile.mkdtemp(prefix="svc-bench-")))
+    await daemon.start()
+    try:
+        started = time.perf_counter()
+        keys = []
+        for spec in UNIQUE:
+            response = await daemon.submit(spec.to_payload())
+            assert response["ok"], response
+            keys.append(response["job"])
+        # Duplicate tier: submitted while the originals are in flight (or
+        # already finished -- both paths must coalesce, never recompute).
+        for spec in DUPLICATES:
+            response = await daemon.submit(spec.to_payload())
+            assert response["ok"] and response.get("coalesced"), response
+        for key in keys:
+            assert await daemon.wait(key, timeout=600)
+        wall = time.perf_counter() - started
+
+        bit_identical = True
+        for spec, key in zip(UNIQUE, keys):
+            digest = daemon.result(key)["result"]["digest"]
+            if digest != direct_digests[spec.job_key()]:
+                bit_identical = False
+        recovery_events = len(daemon.events) + sum(
+            len(daemon.status(key).get("events", [])) for key in keys
+        )
+        snapshot = obs_metrics.registry().snapshot()
+        latency = snapshot["histograms"].get("service.latency_ms", {})
+        stats = daemon.stats()
+        return {
+            "wall_seconds": wall,
+            "unique_jobs": len(keys),
+            "duplicate_submissions": len(DUPLICATES),
+            "jobs_per_sec": len(keys) / wall,
+            "p50_latency_ms": latency.get("p50"),
+            "p99_latency_ms": latency.get("p99"),
+            "coalesced_hits": stats["counts"]["coalesced"],
+            "completed": stats["counts"]["completed"],
+            "failed": stats["counts"]["failed"],
+            "bit_identical": bit_identical,
+            "recovery_events": recovery_events,
+            "worker_restarts": daemon.pool.restarts,
+            "journal_dropped_writes": stats["journal"]["dropped_writes"],
+            "journal_corrupt_entries": stats["journal"]["corrupt_entries"],
+        }
+    finally:
+        await daemon.stop()
+
+
+async def _crash_scenario(direct_digests):
+    daemon = ServiceDaemon(_config(tempfile.mkdtemp(prefix="svc-crash-")))
+    await daemon.start()
+    try:
+        spec = COLD[0]
+        with fault_plan(FaultPlan.from_spec("service.exec=crash:1:@worker")):
+            response = await daemon.submit(spec.to_payload())
+            assert response["ok"], response
+            finished = await daemon.wait(response["job"], timeout=600)
+        status = daemon.status(response["job"])
+        recovered = bool(finished) and status["state"] == "completed"
+        digest = (
+            daemon.result(response["job"])["result"]["digest"]
+            if recovered else None
+        )
+        return {
+            "crash_recovered": recovered,
+            "crash_bit_identical": digest == direct_digests[spec.job_key()],
+            "crash_restarts": daemon.pool.restarts,
+            "crash_events": [e["event"] for e in status.get("events", [])],
+        }
+    finally:
+        await daemon.stop()
+
+
+def bench_service() -> dict:
+    # Ground truth first: direct in-process execution of every unique spec.
+    with fault_plan(None):
+        direct_digests = {
+            spec.job_key(): execute_job(spec.to_payload())["digest"]
+            for spec in UNIQUE
+        }
+        obs_metrics.registry().reset()
+        mixed = asyncio.run(_mixed_workload(direct_digests))
+        crash = asyncio.run(_crash_scenario(direct_digests))
+
+    result = {**mixed, **crash}
+    result["ok"] = (
+        result["bit_identical"]
+        and result["recovery_events"] == 0
+        and result["worker_restarts"] == 0
+        and result["coalesced_hits"] >= len(DUPLICATES)
+        and result["failed"] == 0
+        and result["jobs_per_sec"] >= JOBS_PER_SEC_FLOOR
+        and (result["p99_latency_ms"] or 0) <= P99_LATENCY_CEILING_MS
+        and result["crash_recovered"]
+        and result["crash_bit_identical"]
+    )
+    result["workload"] = (
+        f"{len(COLD)} cold + {len(NEAR)} near-hit + "
+        f"{len(DUPLICATES)} duplicate submissions of tiny-PE jobs, "
+        "2 workers; separate worker-crash scenario"
+    )
+    return result
+
+
+def main() -> int:
+    print("benchmarking PAR service throughput ...")
+    section = bench_service()
+
+    report = {"kernels": {}}
+    if RESULT_PATH.exists():
+        try:
+            report = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            pass
+    report.setdefault("kernels", {})["service"] = section
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    flag = "OK " if section["ok"] else "FAIL"
+    print(
+        f"service     {flag} {section['jobs_per_sec']:.2f} jobs/s "
+        f"(p50 {section['p50_latency_ms']:.0f}ms / "
+        f"p99 {section['p99_latency_ms']:.0f}ms), "
+        f"coalesced={section['coalesced_hits']}, "
+        f"bit_identical={section['bit_identical']}, "
+        f"faultfree_events={section['recovery_events']}, "
+        f"crash_recovered={section['crash_recovered']} "
+        f"(restarts={section['crash_restarts']})"
+    )
+    print(f"wrote {RESULT_PATH}")
+    return 0 if section["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,14 @@ benchmark shows
   more than ``OBS_DISABLED_NS`` per call, a traced place+route run is
   more than 5% slower than the untraced twin, tracing perturbed the
   results (the trajectory-neutrality contract, see OBSERVABILITY.md),
-  or the emitted Chrome trace is invalid or missing expected spans.
+  or the emitted Chrome trace is invalid or missing expected spans,
+* a service regression (``kernels.service``, written by
+  ``bench_service_throughput.py``): a service-produced job result that is
+  not bit-identical to a direct ``place_and_route`` call, recovery or
+  restart events on a fault-free run, duplicate submissions that were not
+  coalesced, a failed crash-recovery scenario, throughput below the
+  ``SERVICE_JOBS_PER_SEC`` floor, or p99 completion latency above the
+  ``SERVICE_P99_MS`` ceiling.
 
 The thresholds here are looser than the in-benchmark ``ok`` flags on
 purpose: this gate is about catching real regressions, not about
@@ -65,6 +72,8 @@ RETIME_TARGET = 3.0     # issue 5: flat retime speedup target ...
 RETIME_SLACK = 1.25     # ... enforced with 25% headroom for machine load
 OBS_DISABLED_NS = 2000.0  # issue 9: disabled span() per-call ceiling (ns)
 OBS_SLOWDOWN = 1.05       # issue 9: traced place+route wall-time ratio ceiling
+SERVICE_JOBS_PER_SEC = 0.2   # issue 10: unique-job throughput floor
+SERVICE_P99_MS = 30_000.0    # issue 10: p99 completion latency ceiling
 
 
 def check(report: dict) -> list:
@@ -282,6 +291,57 @@ def check(report: dict) -> list:
         if not obs.get("trace_complete", False):
             problems.append(
                 "obs: Chrome trace is missing expected span/series names"
+            )
+
+    service = kernels.get("service", {})
+    if not service:
+        problems.append("service: benchmark section missing")
+    else:
+        if not service.get("bit_identical", False):
+            problems.append(
+                "service: a daemon-produced job result is not bit-identical "
+                "to the direct place_and_route call (the service contract)"
+            )
+        # The mixed workload runs with no faults injected; any recovery
+        # event, worker restart or journal drop there is a real failure
+        # being absorbed, not chaos.
+        if service.get("recovery_events", 1) != 0:
+            problems.append(
+                f"service: {service.get('recovery_events')} recovery "
+                "event(s) on the fault-free workload (expected zero)"
+            )
+        if service.get("worker_restarts", 1) != 0:
+            problems.append(
+                "service: worker restarts on the fault-free workload"
+            )
+        if not service.get("coalesced_hits", 0) > 0:
+            problems.append(
+                "service: duplicate submissions were not coalesced"
+            )
+        jobs_per_sec = service.get("jobs_per_sec")
+        if jobs_per_sec is None:
+            problems.append("service: throughput measurement missing")
+        elif jobs_per_sec < SERVICE_JOBS_PER_SEC:
+            problems.append(
+                f"service: {jobs_per_sec:.3f} unique jobs/sec "
+                f"(< {SERVICE_JOBS_PER_SEC} floor)"
+            )
+        p99 = service.get("p99_latency_ms")
+        if p99 is None:
+            problems.append("service: p99 latency missing")
+        elif p99 > SERVICE_P99_MS:
+            problems.append(
+                f"service: p99 completion latency {p99:.0f}ms "
+                f"(> {SERVICE_P99_MS:.0f}ms ceiling)"
+            )
+        if not service.get("crash_recovered", False):
+            problems.append(
+                "service: the worker-crash scenario did not complete its job"
+            )
+        if not service.get("crash_bit_identical", False):
+            problems.append(
+                "service: the crash-recovered result is not bit-identical "
+                "to the direct computation"
             )
     return problems
 

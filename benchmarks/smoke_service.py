@@ -1,0 +1,144 @@
+"""CI daemon smoke: journal replay + worker crash, with bit identity.
+
+Run by the chaos CI job as::
+
+    REPRO_FAULT_PLAN='service.exec=crash:1:@worker' \\
+        PYTHONPATH=src python benchmarks/smoke_service.py [journal-dir]
+
+The script exercises the service daemon's two recovery paths end to end,
+honouring the *ambient* ``REPRO_FAULT_PLAN`` (unlike ``tests/test_service.py``,
+whose autouse fixture suppresses it so every test installs an exact plan):
+
+1. **Daemon death mid-flight.**  Life 1 accepts jobs into the journal and
+   exits without ever dispatching them -- exactly the state a daemon killed
+   between acceptance and completion leaves behind.  Life 2 must replay the
+   ``accepted`` entries and finish them.
+2. **Worker death mid-job.**  Under the chaos plan the first pool worker is
+   killed inside ``execute_job`` (the parent sees ``BrokenProcessPool``);
+   the supervisor rebuilds the pool and the job's remaining attempts finish
+   in the parent.
+
+Both recoveries must land on the service's one non-negotiable: every
+completed job's digest equals a direct in-process ``execute_job`` run.
+Exit code 0 == all assertions held.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+
+from repro.service import JobSpec, ServiceConfig, ServiceDaemon, execute_job
+from repro.util import active_plan, fault_plan
+
+#: Tiny PE: the whole flow runs in ~1 s per job, which keeps the smoke leg
+#: cheap while still crossing every layer (synth -> map -> PAR -> frames).
+_TINY = {
+    "we": 3,
+    "wf": 4,
+    "num_inputs": 2,
+    "counter_width": 4,
+    "channel_width": 12,
+    "placement_effort": 0.3,
+    "router_iterations": 20,
+    "seed": 1,
+}
+JOBS = [_TINY, {**_TINY, "seed": 2}]
+
+WAIT_S = 600.0
+
+
+def _config(journal_dir: str) -> ServiceConfig:
+    return ServiceConfig(
+        workers=2,
+        queue_depth=8,
+        deadline_s=120.0,
+        retry_attempts=3,
+        retry_backoff_s=0.05,
+        journal_dir=journal_dir,
+    )
+
+
+async def _life1_accept_and_die(config: ServiceConfig) -> None:
+    """Accept jobs into the journal, then vanish without running them."""
+    daemon = ServiceDaemon(config)
+    # No start(): nothing drains the queue, so every job is journaled
+    # ``accepted`` and abandoned -- a deterministic stand-in for a daemon
+    # killed mid-flight.
+    for payload in JOBS:
+        response = await daemon.submit(payload)
+        assert response["ok"] and response["state"] == "accepted", response
+
+
+async def _life2_replay_and_verify(
+    config: ServiceConfig, baseline: dict
+) -> dict:
+    """Replay the journal (under the ambient chaos plan) and check bits."""
+    daemon = ServiceDaemon(config)
+    replayed = await daemon.start()
+    assert replayed["pending"] == len(JOBS), replayed
+    try:
+        for key in baseline:
+            finished = await daemon.wait(key, timeout=WAIT_S)
+            assert finished, f"job {key} did not finish within {WAIT_S}s"
+        for key, digest in baseline.items():
+            response = daemon.result(key)
+            assert response["ok"], response
+            got = response["result"]["digest"]
+            assert got == digest, (
+                f"bit-identity violated for {key}: {got} != {digest}"
+            )
+        job_events = [
+            event
+            for key in baseline
+            for event in daemon.status(key).get("events", [])
+        ]
+        return {"stats": daemon.stats(), "job_events": job_events}
+    finally:
+        await daemon.stop()
+
+
+def main() -> int:
+    journal_dir = (
+        sys.argv[1] if len(sys.argv) > 1
+        else tempfile.mkdtemp(prefix="repro-service-smoke-")
+    )
+    config = _config(journal_dir)
+
+    # Fault-free baseline digests, direct in-process runs.
+    with fault_plan(None):
+        baseline = {
+            JobSpec.from_payload(p).job_key(): execute_job(p)["digest"]
+            for p in JOBS
+        }
+
+    asyncio.run(_life1_accept_and_die(config))
+    outcome = asyncio.run(_life2_replay_and_verify(config, baseline))
+
+    stats = outcome["stats"]
+    restarts = stats["pool"]["restarts"]
+    crash_kinds = sorted(
+        {e["event"] for e in outcome["job_events"]}
+    )
+    chaos = active_plan() is not None
+    if chaos:
+        # The ambient plan kills worker(s) mid-job; the recovery must be
+        # *visible*, not just survived.
+        assert restarts >= 1, stats["pool"]
+        assert any(
+            e["event"] in ("pool-failure", "worker-stuck", "retry")
+            for e in outcome["job_events"]
+        ), outcome["job_events"]
+
+    print(
+        "service smoke OK: "
+        f"{len(baseline)} jobs replayed + bit-identical, "
+        f"chaos={'on' if chaos else 'off'}, "
+        f"worker restarts={restarts}, recovery events={crash_kinds}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

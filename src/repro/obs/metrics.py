@@ -65,6 +65,7 @@ class MetricsRegistry:
                 "mean": sum(ordered) / n,
                 "p50": ordered[n // 2],
                 "p95": ordered[min(n - 1, (n * 95) // 100)],
+                "p99": ordered[min(n - 1, (n * 99) // 100)],
             }
         return {
             "counters": dict(self.counters),

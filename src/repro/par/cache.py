@@ -20,6 +20,13 @@ entry points in :mod:`repro.par.metrics` / :mod:`repro.par.flow`, or set the
 ``REPRO_PAR_CACHE`` environment variable to a directory to enable it
 globally (``PaRCache.from_env()``).
 
+Storage is pluggable: :class:`PaRCache` handles keys, accounting and
+failure absorption over a :class:`CacheBackend` -- a two-method raw store
+(``read``/``write``) with :class:`LocalDirBackend` (the original on-disk
+tier) and :class:`MemoryBackend` (in-process, used by the service daemon's
+tests and ephemeral tiers) provided here; a remote/sharded tier plugs in
+behind the same protocol without touching any caller.
+
 Invariants:
 
 * **A hit reproduces a fresh compute bit-for-bit.**  Keys fingerprint
@@ -56,7 +63,15 @@ from ..util.resilience import inject, record_event
 from .netlist import PhysicalNetlist
 from .placement import Placement
 
-__all__ = ["PaRCache", "CacheIOError", "ROUTE_ALGO_VERSION", "PLACE_ALGO_VERSION"]
+__all__ = [
+    "PaRCache",
+    "CacheIOError",
+    "CacheBackend",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "ROUTE_ALGO_VERSION",
+    "PLACE_ALGO_VERSION",
+]
 
 
 class CacheIOError(OSError):
@@ -96,16 +111,111 @@ def _arch_fingerprint(arch: FPGAArchitecture) -> str:
     )
 
 
+class CacheBackend:
+    """Raw key -> JSON-dict store behind :class:`PaRCache`.
+
+    The protocol is deliberately two methods plus a label, so a remote or
+    sharded tier is a drop-in: :meth:`read` returns the stored value or
+    ``None`` for a *plain* miss (never written) and raises ``OSError`` /
+    ``ValueError`` for an entry that exists but cannot be trusted;
+    :meth:`write` stores atomically with last-write-wins semantics among
+    concurrent writers and raises ``OSError`` on failure.  All accounting,
+    fault injection and error absorption stay in :class:`PaRCache` -- a
+    backend only moves bytes.
+    """
+
+    def read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Value stored under ``key``; ``None`` when never written."""
+        raise NotImplementedError
+
+    def write(self, key: str, value: Dict[str, Any]) -> None:
+        """Atomically store ``value`` under ``key`` (last write wins)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Stable human-readable label (used for warn-once bookkeeping)."""
+        return type(self).__name__
+
+
+class LocalDirBackend(CacheBackend):
+    """One JSON file per key in a local directory; atomic temp+rename writes."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        """Create (if needed) and wrap ``directory``."""
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Parse the entry file; ``None`` if absent, raises if undecodable."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def write(self, key: str, value: Dict[str, Any]) -> None:
+        """Write via ``mkstemp`` + ``os.replace`` so pools never see torn files."""
+        tmp = None
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            raise
+
+    def describe(self) -> str:
+        """The wrapped directory path."""
+        return str(self.directory)
+
+
+class MemoryBackend(CacheBackend):
+    """Process-local dict store: ephemeral tiers, backend-protocol tests.
+
+    Values are deep-copied through JSON on both paths so callers cannot
+    alias cache state -- the semantics match the on-disk tier exactly.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty store."""
+        self._store: Dict[str, str] = {}
+
+    def read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Decode the stored JSON text (``None`` when never written)."""
+        text = self._store.get(key)
+        return None if text is None else json.loads(text)
+
+    def write(self, key: str, value: Dict[str, Any]) -> None:
+        """Store the value as JSON text (atomic by the GIL)."""
+        self._store[key] = json.dumps(value)
+
+
 class PaRCache:
     """Content-addressed JSON store for PAR metrics, safe for process pools."""
 
-    #: Directories already warned about for dropped writes (process-wide, so
+    #: Backends already warned about for dropped writes (process-wide, so
     #: a pool of caches over one shared directory warns once, not per worker).
     _warned_dirs: set = set()
 
-    def __init__(self, directory: Union[str, Path], strict: bool = False) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self,
+        directory: Union[str, Path, CacheBackend],
+        strict: bool = False,
+    ) -> None:
+        if isinstance(directory, CacheBackend):
+            self.backend = directory
+            self.directory = getattr(directory, "directory", None)
+        else:
+            self.backend = LocalDirBackend(directory)
+            self.directory = self.backend.directory
         self.strict = strict
         self.hits = 0
         self.misses = 0
@@ -141,6 +251,8 @@ class PaRCache:
     # -- generic key/value store ------------------------------------------------
 
     def _path(self, key: str) -> Path:
+        if self.directory is None:
+            raise TypeError(f"{self.backend.describe()} backend has no paths")
         return self.directory / f"{key}.json"
 
     def get(
@@ -151,20 +263,18 @@ class PaRCache:
         Unreadable or corrupt entries count as misses (logged in
         ``stats()`` / ``events``) unless the cache is ``strict``.
         """
-        path = self._path(key)
         try:
             fault = inject("cache.read")
             if fault == "corrupt":
                 raise ValueError(f"injected corrupt cache entry for {key}")
             if fault is not None:
                 raise OSError(f"injected cache read fault ({fault}) for {key}")
-            with open(path, "r", encoding="utf-8") as fh:
-                value = json.load(fh)
-        except FileNotFoundError:
-            # A plain miss: the entry was never written.  Not an error.
-            self.misses += 1
-            obs_metrics.add("cache.misses")
-            return None
+            value = self.backend.read(key)
+            if value is None:
+                # A plain miss: the entry was never written.  Not an error.
+                self.misses += 1
+                obs_metrics.add("cache.misses")
+                return None
         except (OSError, ValueError) as exc:
             # The entry exists but cannot be decoded -- a rotted shared
             # directory, a torn write from a non-atomic producer, or an
@@ -192,32 +302,22 @@ class PaRCache:
         Failed writes warn once per directory and count in ``stats()``
         (or raise :class:`CacheIOError` when ``strict``).
         """
-        path = self._path(key)
-        tmp = None
         try:
             fault = inject("cache.write")
             if fault is not None:
                 raise OSError(f"injected cache write fault ({fault}) for {key}")
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(value, fh)
-            os.replace(tmp, path)
+            self.backend.write(key, value)
             return True
         except OSError as exc:
             # The cache is an optimization: a full disk or an unwritable
             # shared directory must never fail the flow that uses it.  The
             # drop is counted, surfaced in stats()/events, and warned about
             # once per directory so a rotted nightly cache is noticed.
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
             self.dropped_writes += 1
             obs_metrics.add("cache.dropped_writes")
             record_event(events, "cache-write-dropped", site="cache.write",
                          key=key, error=f"{type(exc).__name__}: {exc}")
-            dir_key = str(self.directory)
+            dir_key = self.backend.describe()
             if dir_key not in PaRCache._warned_dirs:
                 PaRCache._warned_dirs.add(dir_key)
                 warnings.warn(

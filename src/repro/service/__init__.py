@@ -1,0 +1,55 @@
+"""Fault-tolerant PAR-as-a-service: a supervised job daemon over the flow.
+
+The service turns :func:`repro.par.flow.place_and_route` into a long-lived
+daemon without weakening its determinism: every completed job's result is
+**bit-identical** to a direct ``place_and_route`` call with the same spec
+-- through worker crashes, retries, watchdog kills and journal replays
+(``tests/test_service.py`` enforces the invariant as a digest compare).
+
+Layers, bottom up:
+
+* :mod:`repro.service.spec`   -- :class:`JobSpec`, content keys, the
+  worker-side :func:`execute_job`, :func:`result_digest`.
+* :mod:`repro.service.pool`   -- :class:`SupervisedWorkerPool`: heartbeats,
+  deadlines, restart-on-crash, bounded retries.
+* :mod:`repro.service.journal`-- :class:`JobJournal`: crash-consistent
+  atomic snapshots, replay-on-restart.
+* :mod:`repro.service.daemon` -- :class:`ServiceDaemon`: admission
+  (coalescing, breaker, backpressure) + dispatch + durability.
+* :mod:`repro.service.server` / :mod:`repro.service.client` -- JSON-lines
+  TCP front end and a small blocking client.
+
+Run it: ``python -m repro.service`` (see :mod:`repro.service.__main__`).
+Fault points ``service.exec`` / ``service.journal`` are documented in
+``RESILIENCE.md``; ``SERVICE.md`` covers the job lifecycle end to end.
+"""
+
+from .client import ServiceClient
+from .daemon import CircuitBreaker, ServiceConfig, ServiceDaemon
+from .journal import JobJournal
+from .pool import JobExecutionError, SupervisedWorkerPool
+from .server import ServiceServer, serve
+from .spec import (
+    SERVICE_VERSION,
+    JobSpec,
+    canonical_dumps,
+    execute_job,
+    result_digest,
+)
+
+__all__ = [
+    "SERVICE_VERSION",
+    "JobSpec",
+    "canonical_dumps",
+    "execute_job",
+    "result_digest",
+    "JobJournal",
+    "SupervisedWorkerPool",
+    "JobExecutionError",
+    "ServiceDaemon",
+    "ServiceConfig",
+    "CircuitBreaker",
+    "ServiceClient",
+    "ServiceServer",
+    "serve",
+]

@@ -1,0 +1,111 @@
+"""Command line entry point: ``python -m repro.service``.
+
+Subcommands::
+
+    serve                       run the daemon (default; ^C or the
+                                ``shutdown`` op stops it)
+    submit [--we N --wf N ...]  submit one job to a running daemon and
+                                print the response (``--wait`` inlines
+                                the result)
+    stats                       print a running daemon's health snapshot
+    ping                        liveness probe
+
+Daemon tuning comes from ``REPRO_SERVICE_*`` environment variables (see
+:mod:`repro.service.daemon`); ``--host``/``--port`` select the endpoint
+for every subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from .client import ServiceClient
+from .daemon import ServiceConfig
+from .server import serve
+from .spec import JobSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Fault-tolerant PAR-as-a-service daemon and client.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7341)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("serve", help="run the daemon (default)")
+    sub.add_parser("stats", help="print daemon health snapshot")
+    sub.add_parser("ping", help="liveness probe")
+    submit = sub.add_parser("submit", help="submit one job")
+    submit.add_argument("--we", type=int, default=JobSpec.we)
+    submit.add_argument("--wf", type=int, default=JobSpec.wf)
+    submit.add_argument("--num-inputs", type=int, default=JobSpec.num_inputs)
+    submit.add_argument(
+        "--counter-width", type=int, default=JobSpec.counter_width
+    )
+    submit.add_argument(
+        "--conventional", action="store_true",
+        help="conventional LUT mapping instead of the parameterized flow",
+    )
+    submit.add_argument(
+        "--channel-width", type=int, default=JobSpec.channel_width
+    )
+    submit.add_argument(
+        "--placement-effort", type=float, default=JobSpec.placement_effort
+    )
+    submit.add_argument(
+        "--router-iterations", type=int, default=JobSpec.router_iterations
+    )
+    submit.add_argument("--seed", type=int, default=JobSpec.seed)
+    submit.add_argument(
+        "--objective", choices=("wirelength", "timing"),
+        default=JobSpec.objective,
+    )
+    submit.add_argument("--deadline-s", type=float, default=None)
+    submit.add_argument(
+        "--wait", action="store_true", help="block for the inline result"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    command = args.command or "serve"
+    if command == "serve":
+        try:
+            asyncio.run(
+                serve(ServiceConfig.from_env(), host=args.host, port=args.port)
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
+    with ServiceClient(host=args.host, port=args.port) as client:
+        if command == "ping":
+            response = client.ping()
+        elif command == "stats":
+            response = client.stats()
+        else:
+            spec = JobSpec(
+                we=args.we,
+                wf=args.wf,
+                num_inputs=args.num_inputs,
+                counter_width=args.counter_width,
+                parameterized=not args.conventional,
+                channel_width=args.channel_width,
+                placement_effort=args.placement_effort,
+                router_iterations=args.router_iterations,
+                seed=args.seed,
+                objective=args.objective,
+                deadline_s=args.deadline_s,
+            )
+            response = client.submit(spec.to_payload(), wait=args.wait)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Minimal blocking client for the service daemon's JSON-lines protocol.
+
+A :class:`ServiceClient` is a line-oriented socket wrapper: every method
+sends one JSON object and returns the daemon's structured response dict
+verbatim -- including rejections (``circuit-open``, ``overloaded``), which
+are *responses*, not exceptions, so callers can implement their own
+backoff.  Only transport-level failures (connection refused, torn socket)
+raise.
+
+Synchronous on purpose: the concurrency story lives in the daemon; a
+client that submits and waits needs no event loop of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running service daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7341, timeout: float = 600.0
+    ) -> None:
+        """Connect immediately; ``timeout`` bounds every round trip."""
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip (the other methods sugar this)."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job spec; ``wait=True`` blocks for the inline result."""
+        request: Dict[str, Any] = {"op": "submit", "spec": spec}
+        if wait:
+            request["wait"] = True
+            if timeout is not None:
+                request["timeout"] = timeout
+        return self.request(request)
+
+    def status(self, job: str) -> Dict[str, Any]:
+        """Lifecycle view of one job."""
+        return self.request({"op": "status", "job": job})
+
+    def result(self, job: str) -> Dict[str, Any]:
+        """Completed result of one job (structured miss when not ready)."""
+        return self.request({"op": "result", "job": job})
+
+    def stats(self) -> Dict[str, Any]:
+        """Daemon health snapshot."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop (it finishes the current jobs first)."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

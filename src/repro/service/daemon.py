@@ -1,0 +1,479 @@
+"""The PAR service daemon: supervised job queue with crash recovery.
+
+:class:`ServiceDaemon` ties the service layers together around one
+organizing principle -- *a fault anywhere degrades one job, never the
+service*:
+
+* **admission** (:meth:`ServiceDaemon.submit`) validates the spec, then
+  checks -- in order -- the result table (duplicate of a finished job:
+  served instantly), the active-job table (duplicate of an in-flight job:
+  **coalesced** onto the same execution), the per-class circuit breaker
+  (repeatedly-failing circuit families are rejected fast instead of
+  burning workers), and the bounded queue (structured ``overloaded``
+  rejection instead of unbounded latency).  Every rejection is a typed,
+  countable response -- load shedding is an API, not an accident.
+* **execution**: ``workers`` dispatcher coroutines drain the queue into a
+  :class:`~repro.service.pool.SupervisedWorkerPool`, which owns crash
+  restart, deadlines and bounded retries.
+* **durability**: every state transition is journaled atomically
+  (:class:`~repro.service.journal.JobJournal`); :meth:`start` replays the
+  journal so accepted-but-unfinished jobs from a crashed daemon re-enter
+  the queue and completed results survive restarts.
+
+Coalescing and result reuse are sound because jobs are deterministic and
+content-addressed (:meth:`repro.service.spec.JobSpec.job_key`): the job id
+*is* the job key, so "the same job submitted twice" and "the same job
+re-queued by replay" are literally the same journal entry.
+
+Environment knobs (all optional, read by :meth:`ServiceConfig.from_env`)::
+
+    REPRO_SERVICE_WORKERS             pool size            (default 2)
+    REPRO_SERVICE_QUEUE_DEPTH         backpressure bound   (default 32)
+    REPRO_SERVICE_DEADLINE_S          default job budget   (default 120)
+    REPRO_SERVICE_RETRIES             attempts per job     (default 3)
+    REPRO_SERVICE_BREAKER_THRESHOLD   failures to open     (default 3)
+    REPRO_SERVICE_BREAKER_COOLDOWN_S  open -> half-open    (default 30)
+    REPRO_SERVICE_JOURNAL_DIR         journal directory    (default .repro_service)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
+from ..util.resilience import RetryPolicy
+from .journal import JobJournal
+from .pool import JobExecutionError, SupervisedWorkerPool
+from .spec import JobSpec
+
+__all__ = ["ServiceConfig", "CircuitBreaker", "ServiceDaemon"]
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon tuning; every field has a ``REPRO_SERVICE_*`` env override."""
+
+    workers: int = 2
+    queue_depth: int = 32
+    deadline_s: Optional[float] = 120.0
+    retry_attempts: int = 3
+    retry_backoff_s: float = 0.05
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    grace: float = 1.5
+    journal_dir: Union[str, Path] = ".repro_service"
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """Config from ``REPRO_SERVICE_*`` variables; unset -> defaults."""
+        deadline = _env_float("REPRO_SERVICE_DEADLINE_S", 120.0)
+        return cls(
+            workers=int(_env_float("REPRO_SERVICE_WORKERS", 2)),
+            queue_depth=int(_env_float("REPRO_SERVICE_QUEUE_DEPTH", 32)),
+            deadline_s=None if deadline <= 0 else deadline,
+            retry_attempts=int(_env_float("REPRO_SERVICE_RETRIES", 3)),
+            breaker_threshold=int(
+                _env_float("REPRO_SERVICE_BREAKER_THRESHOLD", 3)
+            ),
+            breaker_cooldown_s=_env_float("REPRO_SERVICE_BREAKER_COOLDOWN_S", 30.0),
+            journal_dir=os.environ.get(
+                "REPRO_SERVICE_JOURNAL_DIR", ".repro_service"
+            ),
+        )
+
+
+class CircuitBreaker:
+    """Per-job-class consecutive-failure breaker with half-open probes.
+
+    ``threshold`` consecutive failures of one class (same circuit family,
+    any seed/width -- :meth:`~repro.service.spec.JobSpec.class_key`) open
+    the circuit: further submissions of that class are rejected instantly
+    for ``cooldown_s``.  After the cooldown one *probe* job is admitted
+    (half-open); its outcome closes or re-opens the circuit.  Other job
+    classes are never affected -- a poisonous circuit cannot starve the
+    queue for everyone else.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0) -> None:
+        """``threshold`` consecutive failures open; probe after ``cooldown_s``."""
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self._failures: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
+        self._probing: Dict[str, bool] = {}
+        self.opens = 0
+
+    def allow(self, class_key: str) -> bool:
+        """May a job of this class be admitted right now?"""
+        opened_at = self._opened_at.get(class_key)
+        if opened_at is None:
+            return True
+        if time.monotonic() - opened_at < self.cooldown_s:
+            return False
+        # Cooled down: admit exactly one probe until it resolves.
+        if self._probing.get(class_key):
+            return False
+        self._probing[class_key] = True
+        return True
+
+    def record_success(self, class_key: str) -> None:
+        """Close the circuit (probe succeeded / class is healthy)."""
+        self._failures.pop(class_key, None)
+        self._opened_at.pop(class_key, None)
+        self._probing.pop(class_key, None)
+
+    def record_failure(self, class_key: str) -> None:
+        """Count one failure; open the circuit at the threshold."""
+        if self._probing.pop(class_key, None):
+            # Failed probe: restart the cooldown clock.
+            self._opened_at[class_key] = time.monotonic()
+            return
+        count = self._failures.get(class_key, 0) + 1
+        self._failures[class_key] = count
+        if count >= self.threshold and class_key not in self._opened_at:
+            self._opened_at[class_key] = time.monotonic()
+            self.opens += 1
+            obs_metrics.add("service.breaker_opens")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able view for the stats endpoint."""
+        return {
+            "open": sorted(self._opened_at),
+            "failures": dict(self._failures),
+            "opens": self.opens,
+        }
+
+
+@dataclass
+class _Job:
+    """Daemon-side state for one unique job (id == content key)."""
+
+    key: str
+    class_key: str
+    payload: Dict[str, Any]
+    state: str = "accepted"
+    attempts: int = 0
+    seq: int = 0
+    submitted_ts: float = 0.0
+    updated_ts: float = 0.0
+    waiters: int = 1                 #: submissions coalesced onto this run
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def entry(self) -> Dict[str, Any]:
+        """The journal snapshot for the current state."""
+        entry: Dict[str, Any] = {
+            "id": self.key,
+            "key": self.key,
+            "class": self.class_key,
+            "spec": self.payload,
+            "state": self.state,
+            "attempts": self.attempts,
+            "submitted_ts": self.submitted_ts,
+            "updated_ts": self.updated_ts,
+            "seq": self.seq,
+        }
+        if self.result is not None:
+            entry["result"] = self.result
+        if self.error is not None:
+            entry["error"] = self.error
+        return entry
+
+
+class ServiceDaemon:
+    """Asyncio job daemon over the supervised PAR worker pool."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        """Build the daemon; call :meth:`start` before submitting."""
+        self.config = config or ServiceConfig()
+        self.journal = JobJournal(self.config.journal_dir)
+        self.pool = SupervisedWorkerPool(
+            workers=self.config.workers,
+            deadline_s=self.config.deadline_s,
+            retry=RetryPolicy(
+                attempts=self.config.retry_attempts,
+                backoff_s=self.config.retry_backoff_s,
+            ),
+            grace=self.config.grace,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self._jobs: Dict[str, _Job] = {}
+        self._results: Dict[str, Dict[str, Any]] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._dispatchers: List[asyncio.Task] = []
+        self._seq = 0
+        self._started = False
+        self.events: List[Dict[str, Any]] = []
+        self.counts = {
+            "submitted": 0, "completed": 0, "failed": 0, "coalesced": 0,
+            "rejected_overload": 0, "rejected_breaker": 0,
+            "rejected_bad_request": 0, "replayed": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Dict[str, int]:
+        """Replay the journal, then start the dispatcher coroutines.
+
+        Returns the replay tally (``{"pending": n, "completed": n, ...}``).
+        Accepted-but-unfinished jobs from a previous daemon life re-enter
+        the queue here -- the crash-recovery half of the service contract.
+        """
+        replay = self.journal.replay(events=self.events)
+        for entry in replay["completed"]:
+            result = entry.get("result")
+            if isinstance(result, dict):
+                self._results[str(entry["key"])] = result
+            self._seq = max(self._seq, int(entry.get("seq", 0)))
+        for entry in replay["failed"]:
+            self._seq = max(self._seq, int(entry.get("seq", 0)))
+        for entry in replay["pending"]:
+            self._seq = max(self._seq, int(entry.get("seq", 0)))
+            key = str(entry["key"])
+            if key in self._jobs or key in self._results:
+                continue
+            job = _Job(
+                key=key,
+                class_key=str(entry.get("class", "")),
+                payload=dict(entry.get("spec", {})),
+                state="accepted",
+                attempts=int(entry.get("attempts", 0)),
+                seq=int(entry.get("seq", 0)),
+                submitted_ts=float(entry.get("submitted_ts", 0.0)),
+                updated_ts=time.time(),
+            )
+            self._jobs[key] = job
+            self.journal.record(job.entry(), events=self.events)
+            self._queue.put_nowait(job)
+            self.counts["replayed"] += 1
+            obs_metrics.add("service.jobs_replayed")
+        self._dispatchers = [
+            asyncio.ensure_future(self._dispatch_loop())
+            for _ in range(self.config.workers)
+        ]
+        self._started = True
+        self._gauge_depth()
+        return {name: len(entries) for name, entries in replay.items()}
+
+    async def stop(self) -> None:
+        """Cancel dispatchers and tear down the pool (journal stays)."""
+        self._started = False
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._dispatchers = []
+        self.pool.shutdown()
+
+    def _gauge_depth(self) -> None:
+        obs_metrics.gauge("service.queue_depth", self._queue.qsize())
+
+    # -- admission -----------------------------------------------------------
+
+    async def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit one job; always returns a structured response dict.
+
+        Success: ``{"ok": True, "job": key, "state": ...}`` (state is
+        ``completed`` when served from the result table, ``coalesced`` when
+        attached to an in-flight duplicate, else ``accepted``).  Rejection:
+        ``{"ok": False, "error": "bad-request" | "circuit-open" |
+        "overloaded", ...}`` -- structured load shedding the client can
+        distinguish and back off on.
+        """
+        with span("service.submit"):
+            self.counts["submitted"] += 1
+            obs_metrics.add("service.jobs_submitted")
+            try:
+                spec = JobSpec.from_payload(payload)
+            except (TypeError, ValueError) as exc:
+                self.counts["rejected_bad_request"] += 1
+                obs_metrics.add("service.rejected_bad_request")
+                return {"ok": False, "error": "bad-request", "detail": str(exc)}
+            key = spec.job_key()
+            class_key = spec.class_key()
+            # 1. Finished already (this life or a replayed journal)?
+            if key in self._results:
+                self.counts["coalesced"] += 1
+                obs_metrics.add("service.coalesced")
+                return {"ok": True, "job": key, "state": "completed",
+                        "coalesced": True}
+            # 2. In flight? Attach, don't re-run.
+            active = self._jobs.get(key)
+            if active is not None and active.state in ("accepted", "running"):
+                active.waiters += 1
+                self.counts["coalesced"] += 1
+                obs_metrics.add("service.coalesced")
+                return {"ok": True, "job": key, "state": active.state,
+                        "coalesced": True}
+            # 3. Is this job class tripping the breaker?
+            if not self.breaker.allow(class_key):
+                self.counts["rejected_breaker"] += 1
+                obs_metrics.add("service.rejected_breaker")
+                return {"ok": False, "error": "circuit-open",
+                        "job": key, "class": class_key,
+                        "retry_after_s": self.config.breaker_cooldown_s}
+            # 4. Room in the queue?
+            if self._queue.qsize() >= self.config.queue_depth:
+                self.counts["rejected_overload"] += 1
+                obs_metrics.add("service.rejected_overload")
+                return {"ok": False, "error": "overloaded",
+                        "queue_depth": self._queue.qsize(),
+                        "limit": self.config.queue_depth}
+            self._seq += 1
+            job = _Job(
+                key=key,
+                class_key=class_key,
+                payload=spec.to_payload(),
+                seq=self._seq,
+                submitted_ts=time.time(),
+                updated_ts=time.time(),
+            )
+            self._jobs[key] = job
+            # Journal before enqueue: once we say "accepted", a crash must
+            # not lose the job.
+            self.journal.record(job.entry(), events=self.events)
+            self._queue.put_nowait(job)
+            self._gauge_depth()
+            return {"ok": True, "job": key, "state": "accepted"}
+
+    # -- execution -----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            self._gauge_depth()
+            try:
+                await self._run_one(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Supervisor-of-last-resort: a bug in the dispatch path
+                # fails the one job, never the loop.
+                self._finish_failed(job, f"dispatch error: {exc}")
+            finally:
+                self._queue.task_done()
+
+    async def _run_one(self, job: _Job) -> None:
+        job.state = "running"
+        job.updated_ts = time.time()
+        self.journal.record(job.entry(), events=self.events)
+        spec = JobSpec.from_payload(job.payload)
+        started = time.perf_counter()
+        try:
+            result = await self.pool.run_job(
+                job.key,
+                job.payload,
+                deadline_s=(
+                    spec.deadline_s if spec.deadline_s is not None
+                    else self.config.deadline_s
+                ),
+                events=job.events,
+            )
+        except JobExecutionError as exc:
+            job.attempts = exc.attempts
+            self._finish_failed(job, f"{exc.kind}: {exc}")
+            return
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        job.state = "completed"
+        job.result = result
+        job.updated_ts = time.time()
+        self._results[job.key] = result
+        self.journal.record(job.entry(), events=self.events)
+        self.breaker.record_success(job.class_key)
+        self.counts["completed"] += 1
+        obs_metrics.add("service.jobs_completed")
+        obs_metrics.observe("service.latency_ms", latency_ms)
+        job.done.set()
+
+    def _finish_failed(self, job: _Job, error: str) -> None:
+        job.state = "failed"
+        job.error = error
+        job.updated_ts = time.time()
+        self.journal.record(job.entry(), events=self.events)
+        self.breaker.record_failure(job.class_key)
+        self.counts["failed"] += 1
+        obs_metrics.add("service.jobs_failed")
+        job.done.set()
+
+    # -- queries -------------------------------------------------------------
+
+    async def wait(self, key: str, timeout: Optional[float] = None) -> bool:
+        """Block until job ``key`` finishes (``True``) or ``timeout``."""
+        if key in self._results:
+            return True
+        job = self._jobs.get(key)
+        if job is None:
+            return False
+        try:
+            await asyncio.wait_for(job.done.wait(), timeout=timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def status(self, key: str) -> Dict[str, Any]:
+        """Lifecycle view of one job (memory first, then the journal)."""
+        job = self._jobs.get(key)
+        if job is not None:
+            out = {"ok": True, "job": key, "state": job.state,
+                   "attempts": job.attempts, "waiters": job.waiters,
+                   "events": list(job.events)}
+            if job.error is not None:
+                out["error"] = job.error
+            return out
+        if key in self._results:
+            return {"ok": True, "job": key, "state": "completed"}
+        entry = self.journal.load(key)
+        if entry is not None:
+            return {"ok": True, "job": key, "state": entry.get("state"),
+                    "attempts": entry.get("attempts", 0)}
+        return {"ok": False, "error": "unknown-job", "job": key}
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The completed result for ``key``, or a structured miss."""
+        result = self._results.get(key)
+        if result is not None:
+            return {"ok": True, "job": key, "result": result}
+        status = self.status(key)
+        if not status.get("ok"):
+            return status
+        return {"ok": False, "error": "not-ready", "job": key,
+                "state": status.get("state")}
+
+    def stats(self) -> Dict[str, Any]:
+        """One JSON-able health snapshot: queue, pool, breaker, journal."""
+        snap = obs_metrics.registry().snapshot()
+        return {
+            "ok": True,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_depth,
+            "counts": dict(self.counts),
+            "pool": self.pool.liveness(),
+            "breaker": self.breaker.snapshot(),
+            "journal": self.journal.stats(),
+            "latency_ms": snap["histograms"].get("service.latency_ms", {}),
+            "events": len(self.events),
+        }

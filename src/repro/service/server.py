@@ -1,0 +1,155 @@
+"""JSON-lines TCP front end for the service daemon.
+
+One request per line, one response per line, every payload a JSON object.
+The protocol is deliberately tiny -- six operations, all mapped straight
+onto :class:`~repro.service.daemon.ServiceDaemon` methods -- because the
+interesting machinery (coalescing, backpressure, the breaker, the journal)
+lives behind :meth:`ServiceDaemon.submit`, not in the transport:
+
+    {"op": "ping"}                                  -> {"ok": true, "pong": true}
+    {"op": "submit", "spec": {...}, "wait": true?}  -> admission response
+    {"op": "status", "job": "<key>"}                -> lifecycle view
+    {"op": "result", "job": "<key>"}                -> completed result
+    {"op": "stats"}                                 -> health snapshot
+    {"op": "shutdown"}                              -> drains and stops
+
+``submit`` with ``"wait": true`` blocks (server-side, up to ``timeout``
+seconds, default 300) until the job finishes and inlines the result --
+the convenient mode for scripts; pollers use ``status``/``result``.
+Malformed requests get a structured ``bad-request`` response on the same
+line; a protocol error can never kill the connection handler, let alone
+the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from .daemon import ServiceConfig, ServiceDaemon
+from .spec import canonical_dumps
+
+__all__ = ["ServiceServer", "serve"]
+
+#: Default server-side wait bound for ``submit {"wait": true}`` requests.
+_DEFAULT_WAIT_S = 300.0
+
+
+class ServiceServer:
+    """Asyncio TCP wrapper around one :class:`ServiceDaemon`."""
+
+    def __init__(
+        self,
+        daemon: Optional[ServiceDaemon] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        """``port=0`` binds an ephemeral port (read it from ``self.port``)."""
+        self.daemon = daemon or ServiceDaemon(ServiceConfig.from_env())
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> int:
+        """Replay the journal, start dispatchers, bind the socket."""
+        await self.daemon.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener and stop the daemon (journal stays on disk)."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.daemon.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(canonical_dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("_close"):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server teardown cancels in-flight handlers; exiting quietly
+            # (instead of propagating) keeps close() noise-free.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request", "detail": str(exc)}
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            return await self._submit(request)
+        if op == "status":
+            return self.daemon.status(str(request.get("job", "")))
+        if op == "result":
+            return self.daemon.result(str(request.get("job", "")))
+        if op == "stats":
+            return self.daemon.stats()
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True, "_close": True}
+        return {"ok": False, "error": "bad-request",
+                "detail": f"unknown op {op!r}"}
+
+    async def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        response = await self.daemon.submit(request.get("spec") or {})
+        if not response.get("ok") or not request.get("wait"):
+            return response
+        key = response["job"]
+        timeout = float(request.get("timeout") or _DEFAULT_WAIT_S)
+        finished = await self.daemon.wait(key, timeout=timeout)
+        if not finished:
+            return {"ok": False, "error": "wait-timeout", "job": key,
+                    "timeout_s": timeout}
+        return self.daemon.result(key)
+
+
+async def serve(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 7341,
+) -> None:
+    """Blocking entry point for ``python -m repro.service``."""
+    server = ServiceServer(
+        ServiceDaemon(config or ServiceConfig.from_env()), host=host, port=port
+    )
+    bound = await server.start()
+    print(f"repro.service listening on {server.host}:{bound} "
+          f"(journal: {server.daemon.journal.directory})", flush=True)
+    await server.serve_until_shutdown()

@@ -18,7 +18,13 @@ import threading
 
 import pytest
 
-from repro.par.cache import PaRCache
+from repro.obs import metrics as obs_metrics
+from repro.par.cache import (
+    LocalDirBackend,
+    MemoryBackend,
+    PaRCache,
+)
+from repro.util import FaultPlan, fault_plan
 
 
 @pytest.fixture
@@ -159,3 +165,64 @@ class TestKeyHygiene:
         cache.put("b", {"v": 2})
         assert cache.get("a") == {"v": 1}
         assert cache.get("b") == {"v": 2}
+
+
+class TestBackends:
+    """The storage seam extracted for the service's pluggable cache tier."""
+
+    def test_local_dir_backend_is_the_default(self, tmp_path):
+        cache = PaRCache(tmp_path / "c")
+        assert isinstance(cache.backend, LocalDirBackend)
+        assert cache.backend.describe() == str(cache.directory)
+
+    def test_memory_backend_round_trip(self):
+        cache = PaRCache(MemoryBackend())
+        cache.put("k", {"v": [1, 2]})
+        assert cache.get("k") == {"v": [1, 2]}
+        assert cache.get("missing") is None
+        assert cache.directory is None, "no directory behind a memory tier"
+
+    def test_memory_backend_isolates_stored_values(self):
+        cache = PaRCache(MemoryBackend())
+        cache.put("k", {"v": [1]})
+        cache.get("k")["v"].append(2)
+        assert cache.get("k") == {"v": [1]}
+
+    def test_path_requires_a_directory_backend(self):
+        with pytest.raises(TypeError):
+            PaRCache(MemoryBackend())._path("k")
+
+
+class TestStatsObsParity:
+    def test_stats_match_metrics_counters(self, tmp_path):
+        """``stats()`` and the ``cache.*`` obs counters tell one story.
+
+        Every failure-path tally the cache keeps locally (read_errors,
+        dropped_writes) must move the process-wide registry by exactly the
+        same amount -- an operator watching ``cache.*`` counters sees what
+        ``stats()`` would report, drift-free.
+        """
+        keys = {
+            "hits": "cache.hits",
+            "misses": "cache.misses",
+            "read_errors": "cache.read_errors",
+            "dropped_writes": "cache.dropped_writes",
+        }
+        counters = obs_metrics.registry().counters
+        with fault_plan(None):
+            before = {k: counters.get(c, 0) for k, c in keys.items()}
+            cache = PaRCache(tmp_path / "c")
+            cache.put("a", {"v": 1})
+            assert cache.get("a") == {"v": 1}          # hit
+            assert cache.get("b") is None              # plain miss
+            cache._path("a").write_text("{rot")
+            assert cache.get("a") is None              # read error (+ miss)
+            with fault_plan(FaultPlan.from_spec("cache.write=io:1")):
+                with pytest.warns(RuntimeWarning):
+                    cache.put("c", {"v": 2})           # dropped write
+            after = {k: counters.get(c, 0) for k, c in keys.items()}
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1, "misses": 2, "read_errors": 1, "dropped_writes": 1,
+        }
+        assert {k: after[k] - before[k] for k in keys} == stats

@@ -117,3 +117,69 @@ def test_cache_round_trip_equals_fresh_compute(params, tmp_path_factory):
         assert rehydrated.iterations == fresh.iterations
         assert rehydrated.forest is not None
         rehydrated.forest.validate()
+
+
+# ---------------------------------------------------------------------------
+# Frame-image delta algebra on fuzzed designs
+# ---------------------------------------------------------------------------
+
+from repro.fpga.bitstream import Bitstream  # noqa: E402
+from repro.reconfig.context import _MIX  # noqa: E402
+from repro.reconfig.frames import (  # noqa: E402
+    apply_delta,
+    diff_images,
+    union_frames,
+)
+
+
+def _routing_image(routing, device):
+    """Frame image of one routing outcome (the context-renderer convention).
+
+    Mirrors the routing half of ``render_context_bitstream`` for raw
+    physical netlists (which carry no mapped LUT functions): every wire RR
+    node inside the logic region sets bit ``(node * MIX) % routing_bits``
+    of its tile's routing budget.
+    """
+    layout = device.config_layout
+    rr = device.rr_graph
+    bitstream = Bitstream(layout)
+    tile_bits = {}
+    for net_route in routing.routes.values():
+        for rr_node in net_route.nodes:
+            if not rr.is_wire(rr_node):
+                continue
+            x, y = int(rr.node_x[rr_node]), int(rr.node_y[rr_node])
+            if not layout.arch.contains_clb(x, y):
+                continue
+            bit = (rr_node * _MIX) % layout.routing_bits
+            tile_bits[(x, y)] = tile_bits.get((x, y), 0) | (1 << bit)
+    for (x, y), bits in tile_bits.items():
+        bitstream.set_routing_config(x, y, bits)
+    return bitstream.frame_image()
+
+
+@BOUNDED
+@given(params=netlists)
+def test_frame_delta_round_trip_on_fuzzed_designs(params):
+    """``apply_delta(a, diff_images(a, b)) == b`` for real rendered images.
+
+    The reconfiguration scheduler and the service's bitstream digests both
+    lean on this algebra; here it is checked on frame images grown from
+    fuzzer netlists (two placements of the same design = two contexts),
+    not hand-picked dicts.
+    """
+    nl, placement, device = _placed(params)
+    base = _routing_image(route(nl, placement, device), device)
+    other = place(nl, device.arch, seed=1, effort=0.3).placement
+    target = _routing_image(route(nl, other, device), device)
+
+    # The delta is an exact patch, in both directions.
+    assert apply_delta(base, diff_images(base, target)) == target
+    assert apply_delta(target, diff_images(target, base)) == base
+    # Canonical images never store all-zero frames, so patched images
+    # stay canonical: no zero values survive an apply.
+    assert all(apply_delta(base, diff_images(base, target)).values())
+    # Self-delta is empty; the diff never writes more than the full path.
+    assert diff_images(base, base).writes == ()
+    assert apply_delta(base, diff_images(base, base)) == base
+    assert diff_images(base, target).num_frames <= union_frames(base, target)
